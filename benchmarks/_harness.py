@@ -1,0 +1,26 @@
+"""Shared plumbing for the benchmark harness.
+
+Each experiment Ek (see DESIGN.md §3) is a pytest-benchmark test that
+
+1. runs its measurement sweep inside ``benchmark.pedantic`` (one round —
+   the sweeps are Monte-Carlo aggregates, not microbenchmarks);
+2. renders its result rows with :func:`repro.analysis.format_table`;
+3. calls :func:`emit` to print the table and persist it under
+   ``benchmarks/results/<id>.txt`` — the artifacts EXPERIMENTS.md quotes;
+4. asserts the paper-predicted *shape* (slopes, crossovers, who wins).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a result block and persist it to ``benchmarks/results``."""
+    banner = f"\n=== {experiment_id} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id.lower().replace(' ', '_')}.txt"
+    path.write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,21 @@
+"""E11 — Energy (beeps/party) cost of noise resilience.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e11_energy`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e11_energy_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E11"), rounds=1, iterations=1
+    )
+    emit("E11", result.table)
+    result.raise_on_failure()

@@ -1,0 +1,21 @@
+"""E12 — Budget-matched adversarial noise.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e12_adversary`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e12_adversarial_budgets(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E12"), rounds=1, iterations=1
+    )
+    emit("E12", result.table)
+    result.raise_on_failure()

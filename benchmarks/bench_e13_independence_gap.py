@@ -1,0 +1,21 @@
+"""E13 — Independent vs correlated noise for naive repetition.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e13_independence`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e13_independence_gap(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E13"), rounds=1, iterations=1
+    )
+    emit("E13", result.table)
+    result.raise_on_failure()

@@ -1,0 +1,21 @@
+"""E1 — Theorem 1.2: Theta(log n) simulation overhead.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e01_overhead`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e1_overhead_is_logarithmic(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1"), rounds=1, iterations=1
+    )
+    emit("E1", result.table)
+    result.raise_on_failure()

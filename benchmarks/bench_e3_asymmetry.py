@@ -1,0 +1,21 @@
+"""E3 — Section 1.1 asymmetry: 1->0 constant vs 0->1 log overhead.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e03_asymmetry`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e3_asymmetry(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E3"), rounds=1, iterations=1
+    )
+    emit("E3", result.table)
+    result.raise_on_failure()

@@ -1,0 +1,21 @@
+"""E6 — Lemmas B.8+C.5: good players abound.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e06_good_players`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e6_good_players(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6"), rounds=1, iterations=1
+    )
+    emit("E6", result.table)
+    result.raise_on_failure()

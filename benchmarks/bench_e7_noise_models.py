@@ -1,0 +1,21 @@
+"""E7 — Section 1.2: correlated vs independent noise + A.1.2.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e07_noise_models`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e7_noise_models(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7"), rounds=1, iterations=1
+    )
+    emit("E7", result.table)
+    result.raise_on_failure()

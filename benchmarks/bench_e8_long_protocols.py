@@ -1,0 +1,21 @@
+"""E8 — Rewind amortisation over long protocols + chunk ablation.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e08_long_protocols`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e8_long_protocols(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8"), rounds=1, iterations=1
+    )
+    emit("E8", result.table)
+    result.raise_on_failure()

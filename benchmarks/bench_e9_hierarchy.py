@@ -1,0 +1,21 @@
+"""E9 — Appendix D.2 ablation: hierarchical vs iterative.
+
+Thin pytest-benchmark wrapper; the measurement sweep, its result table,
+and the paper-predicted shape checks live in
+:mod:`repro.experiments.e09_hierarchy`.  The wrapper runs the experiment once
+(it is a Monte-Carlo harness, not a microbenchmark), persists the table
+under ``benchmarks/results/`` (the artifact EXPERIMENTS.md quotes), and
+asserts every shape check.
+"""
+
+from _harness import emit
+
+from repro.experiments import run_experiment
+
+
+def test_e9_hierarchy_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9"), rounds=1, iterations=1
+    )
+    emit("E9", result.table)
+    result.raise_on_failure()

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the hot paths (engine, channel, decoder, codebook).
+
+Unlike E1–E12 (Monte-Carlo experiment harnesses run once), these are true
+microbenchmarks: pytest-benchmark repeats them many times and reports
+statistics.  They guard the wall-clock budget of the experiment suite —
+the engine executes tens of thousands of rounds per simulation, so a
+regression here multiplies through every experiment.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
+from repro.coding import GreedyRandomCode, MLDecoder
+from repro.core import run_protocol
+from repro.core.formal import NoiseModel
+from repro.tasks import InputSetTask
+from repro.simulation import ChunkCommitSimulator
+
+N = 16
+
+
+def test_engine_throughput(benchmark):
+    """Rounds/second of the lock-step engine on a 16-party protocol."""
+    task = InputSetTask(N)
+    inputs = task.sample_inputs(random.Random(0))
+    protocol = task.noiseless_protocol()
+    channel = NoiselessChannel()
+
+    def run():
+        return run_protocol(protocol, inputs, channel, record_sent=False)
+
+    result = benchmark(run)
+    assert result.rounds == 2 * N
+
+
+def test_noisy_channel_transmit(benchmark):
+    """Cost of one correlated-noise transmission."""
+    channel = CorrelatedNoiseChannel(0.1, rng=0)
+    bits = (0,) * N
+
+    def transmit():
+        return channel.transmit(bits)
+
+    outcome = benchmark(transmit)
+    assert len(outcome.received) == N
+
+
+def test_ml_decode(benchmark):
+    """ML decoding of one owners-phase codeword."""
+    code = GreedyRandomCode(N + 2, 64, seed=0)
+    decoder = MLDecoder(code, NoiseModel.two_sided(0.1))
+    word = code.encode(5)
+
+    def decode():
+        return decoder.decode(word)
+
+    assert benchmark(decode) == 5
+
+
+def test_codebook_construction(benchmark):
+    """Greedy codebook construction (done once per simulation)."""
+
+    def construct():
+        return GreedyRandomCode(N + 2, 64, seed=1)
+
+    code = benchmark(construct)
+    assert code.num_symbols == N + 2
+
+
+def test_full_simulation(benchmark):
+    """One full chunk-commit simulation at n=8 (the E1 unit of work)."""
+    task = InputSetTask(8)
+    inputs = task.sample_inputs(random.Random(1))
+    simulator = ChunkCommitSimulator()
+
+    def simulate():
+        channel = CorrelatedNoiseChannel(0.1, rng=2)
+        return simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+
+    result = benchmark(simulate)
+    assert task.is_correct(inputs, result.outputs)

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+The benchmarks are Monte-Carlo experiment harnesses, not microbenchmarks:
+each runs once per session (``pedantic`` with one round) and its wall time
+is reported by pytest-benchmark for the record.
+"""

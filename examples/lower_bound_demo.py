@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The lower-bound machinery (Appendix C) on an exactly-solvable instance.
+
+For small n the package enumerates the *entire* joint distribution of
+inputs and transcripts of the ``InputSet_n`` protocol under one-sided
+ε = 1/3 noise, and computes the exact objects of the proof of Theorem C.1:
+
+* feasible sets S^i(π) and good players G(x, π);
+* the progress measure ζ(x, π) and its conditional expectation E[ζ | 𝒢];
+* the Theorem C.2 pointwise cap and the Theorem C.3 correctness floor;
+* the protocol's exact success probability.
+
+It then shows the paper's squeeze: hardening the protocol by repetition
+buys correctness only by growing T — and the C.2 cap, which is what an
+Ω(log n) overhead means.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro import NoiseModel
+from repro.analysis import format_table
+from repro.lowerbound import LowerBoundAnalyzer, theory
+from repro.lowerbound.feasible import feasible_set
+from repro.tasks.input_set import input_set_formal_protocol
+
+NOISE = NoiseModel.one_sided(1.0 / 3.0)
+
+
+def feasible_set_demo() -> None:
+    protocol = input_set_formal_protocol(3)
+    print("Feasible sets after a received prefix (n = 3, universe [6]):")
+    for prefix in [(), (0,), (0, 1, 0)]:
+        feasible = feasible_set(protocol, 0, prefix)
+        print(f"  pi = {prefix!s:12} ->  S^0(pi) = {feasible}")
+    print("  (every received 0 removes one candidate value: under "
+          "one-sided noise a 0 proves nobody beeped)\n")
+
+
+def zeta_squeeze_demo() -> None:
+    n = 2
+    rows = []
+    for repetitions in (1, 2, 3):
+        protocol = input_set_formal_protocol(
+            n, repetitions=repetitions, decision="unanimous"
+        )
+        analyzer = LowerBoundAnalyzer(protocol, NOISE)
+        rounds = protocol.length()
+        rows.append(
+            [
+                repetitions,
+                rounds,
+                f"{analyzer.correctness_probability(lambda x: frozenset(x)):.3f}",
+                f"{analyzer.max_zeta_in_good():.3f}",
+                f"{theory.c2_zeta_bound(n, rounds):.3g}",
+            ]
+        )
+    print(format_table(
+        ["reps", "rounds T", "Pr[correct]", "max ζ on 𝒢", "C.2 cap"],
+        rows,
+        title=f"Exact ζ analysis, n = {n}, one-sided ε = 1/3",
+    ))
+    print("  Correctness improves only as T grows; ζ stays below the C.2 "
+          "cap\n  (which itself grows as 3^(4T/n)) — exactly the squeeze "
+          "in the proof.\n")
+
+
+def asymptotic_contradiction_demo() -> None:
+    rows = []
+    for n in (10**4, 10**6, 10**8):
+        crossover = theory.zeta_crossover_rounds(n)
+        rows.append(
+            [
+                f"{n:.0e}",
+                f"{theory.c3_zeta_requirement(n):.2e}",
+                f"{crossover:,.0f}",
+                f"{crossover / n:.2f}",
+                f"{theory.c1_round_threshold(n):,.0f}",
+            ]
+        )
+    print(format_table(
+        ["n", "C.3 floor n^-3/4", "C.2/C.3 crossover T", "T/n",
+         "paper threshold n·log n/1000"],
+        rows,
+        title="Where the theorems collide (asymptotics)",
+    ))
+    print("  Below the crossover no protocol can be correct: T/n grows "
+          "like log n —\n  the Ω(log n) overhead of Theorem 1.1.")
+
+
+def main() -> None:
+    feasible_set_demo()
+    zeta_squeeze_demo()
+    asymptotic_contradiction_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""A tour of every noise model in the package.
+
+One fixed experiment — the 2n-round ``InputSet_n`` protocol, raw and under
+the chunk-commit simulation — run over each channel the paper discusses
+(plus the engineering extensions), with the key statistic per channel.
+This is the fastest way to *see* the model zoo:
+
+* correlated noise corrupts but keeps everyone agreeing (§1.2);
+* independent noise splits the parties' views;
+* one-sided up-noise fabricates set members, suppression erases them;
+* the A.1.2 reduction channel behaves exactly like two-sided 1/4;
+* bursty noise concentrates the damage;
+* a budgeted adversary aims it.
+
+Run:  python examples/noise_models_tour.py
+"""
+
+import random
+
+from repro import (
+    BudgetedAdversaryChannel,
+    BurstNoiseChannel,
+    ChunkCommitSimulator,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    NoiseModel,
+    OneSidedNoiseChannel,
+    SharedFlipReductionChannel,
+    SuppressionNoiseChannel,
+    run_protocol,
+)
+from repro.analysis import format_table
+from repro.tasks import InputSetTask
+
+N = 6
+EPSILON = 0.2
+TRIALS = 60
+
+
+def channel_zoo():
+    return [
+        ("noiseless", lambda s: NoiselessChannel(), None),
+        (
+            "correlated 0.2",
+            lambda s: CorrelatedNoiseChannel(EPSILON, rng=s),
+            NoiseModel.two_sided(EPSILON),
+        ),
+        (
+            "independent 0.2",
+            lambda s: IndependentNoiseChannel(EPSILON, rng=s),
+            None,  # chunk simulator needs a shared transcript
+        ),
+        (
+            "one-sided 0.2 (0->1)",
+            lambda s: OneSidedNoiseChannel(EPSILON, rng=s),
+            NoiseModel.one_sided(EPSILON),
+        ),
+        (
+            "suppression 0.2 (1->0)",
+            lambda s: SuppressionNoiseChannel(EPSILON, rng=s),
+            NoiseModel.suppression(EPSILON),
+        ),
+        (
+            "A.1.2 reduction (~1/4)",
+            lambda s: SharedFlipReductionChannel(rng=s),
+            None,  # inferred automatically
+        ),
+        (
+            "burst avg 0.2, len 8",
+            lambda s: BurstNoiseChannel.matched_to(EPSILON, 8, rng=s),
+            None,
+        ),
+        (
+            "adversary, 3 flips",
+            lambda s: BudgetedAdversaryChannel(budget=3),
+            NoiseModel.two_sided(EPSILON),
+        ),
+    ]
+
+
+def main() -> None:
+    task = InputSetTask(N)
+    rows = []
+    for label, factory, noise_model in channel_zoo():
+        raw_correct = 0
+        raw_agree = 0
+        for trial in range(TRIALS):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, factory(trial)
+            )
+            raw_agree += result.outputs_agree()
+            raw_correct += task.is_correct(inputs, result.outputs)
+
+        if label.startswith("independent"):
+            simulated = "n/a (needs shared transcript)"
+        else:
+            simulator = ChunkCommitSimulator(noise_model=noise_model)
+            wins = 0
+            sim_trials = 12
+            for trial in range(sim_trials):
+                inputs = task.sample_inputs(random.Random(trial))
+                result = simulator.simulate(
+                    task.noiseless_protocol(), inputs, factory(100 + trial)
+                )
+                wins += task.is_correct(inputs, result.outputs)
+            simulated = f"{wins / sim_trials:.2f}"
+        rows.append(
+            [
+                label,
+                f"{raw_agree / TRIALS:.2f}",
+                f"{raw_correct / TRIALS:.2f}",
+                simulated,
+            ]
+        )
+    print(format_table(
+        ["channel", "raw agree", "raw correct", "chunk-sim correct"],
+        rows,
+        title=f"InputSet_{N} across the noise-model zoo",
+    ))
+    print("\nNote the §1.2 signature: correlated noise keeps agreement at")
+    print("1.00 while being mostly wrong; independent noise destroys even")
+    print("agreement.  The chunk-commit simulation restores correctness on")
+    print("every correlated channel — including the adversary.")
+
+
+if __name__ == "__main__":
+    main()

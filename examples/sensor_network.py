@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Leader election in a noisy wireless sensor network.
+
+The beeping model is the minimal abstraction of a wireless network: a node
+can emit a burst of energy or listen, and carrier sensing tells everyone
+whether *some* node transmitted.  This example runs the classic bit-by-bit
+leader election (maximum identifier wins) over increasingly noisy channels
+and compares three deployments:
+
+* raw protocol (no protection),
+* repetition simulation (footnote 1),
+* the paper's chunk-commit simulation (Theorem 1.2),
+
+including the direction-of-noise asymmetry from §1.1: suppression-only
+noise (lost beeps) is far more benign for the raw protocol than phantom
+beeps, and admits the constant-overhead rewind scheme.
+
+Run:  python examples/sensor_network.py
+"""
+
+import random
+
+from repro import (
+    ChunkCommitSimulator,
+    CorrelatedNoiseChannel,
+    MaxIdTask,
+    OneSidedNoiseChannel,
+    RepetitionSimulator,
+    RewindSimulator,
+    SuppressionNoiseChannel,
+    run_protocol,
+)
+from repro.analysis import estimate_success, format_table
+
+NODES = 8
+ID_BITS = 8
+TRIALS = 30
+
+
+def raw_executor(task, channel_factory):
+    def run(inputs, trial_seed):
+        return run_protocol(
+            task.noiseless_protocol(), inputs, channel_factory(trial_seed)
+        )
+
+    return run
+
+
+def simulated_executor(task, simulator, channel_factory):
+    def run(inputs, trial_seed):
+        return simulator.simulate(
+            task.noiseless_protocol(), inputs, channel_factory(trial_seed)
+        )
+
+    return run
+
+
+def main() -> None:
+    task = MaxIdTask(NODES, id_bits=ID_BITS)
+    demo_inputs = task.sample_inputs(random.Random(0))
+    print(f"{NODES} sensor nodes, ids = {sorted(demo_inputs)}; "
+          f"electing the max ({max(demo_inputs)}) in {ID_BITS} rounds\n")
+
+    rows = []
+    for epsilon in (0.05, 0.15, 0.25):
+        raw = estimate_success(
+            task,
+            raw_executor(
+                task, lambda s, e=epsilon: CorrelatedNoiseChannel(e, rng=s)
+            ),
+            trials=TRIALS,
+            seed=1,
+        )
+        repetition = estimate_success(
+            task,
+            simulated_executor(
+                task,
+                RepetitionSimulator(),
+                lambda s, e=epsilon: CorrelatedNoiseChannel(e, rng=s),
+            ),
+            trials=TRIALS,
+            seed=2,
+        )
+        chunked = estimate_success(
+            task,
+            simulated_executor(
+                task,
+                ChunkCommitSimulator(),
+                lambda s, e=epsilon: CorrelatedNoiseChannel(e, rng=s),
+            ),
+            trials=TRIALS,
+            seed=3,
+        )
+        rows.append(
+            [
+                epsilon,
+                f"{raw.success.value:.2f}",
+                f"{repetition.success.value:.2f} (x{repetition.mean_overhead:.0f})",
+                f"{chunked.success.value:.2f} (x{chunked.mean_overhead:.0f})",
+            ]
+        )
+    print(format_table(
+        ["epsilon", "raw", "repetition (overhead)", "chunk-commit (overhead)"],
+        rows,
+        title="Two-sided noise: success probability electing the right leader",
+    ))
+
+    # The asymmetry of §1.1: suppression noise vs phantom-beep noise.
+    print("\nDirection of noise (ε = 0.2):")
+    rows = []
+    for label, factory in (
+        ("1->0 (lost beeps)", lambda s: SuppressionNoiseChannel(0.2, rng=s)),
+        ("0->1 (phantom beeps)", lambda s: OneSidedNoiseChannel(0.2, rng=s)),
+    ):
+        raw = estimate_success(
+            task, raw_executor(task, factory), trials=TRIALS, seed=4
+        )
+        rewind = estimate_success(
+            task,
+            simulated_executor(task, RewindSimulator(), factory),
+            trials=TRIALS,
+            seed=5,
+        )
+        rows.append(
+            [
+                label,
+                f"{raw.success.value:.2f}",
+                f"{rewind.success.value:.2f} (x{rewind.mean_overhead:.0f})",
+            ]
+        )
+    print(format_table(
+        ["noise direction", "raw", "rewind scheme (overhead)"],
+        rows,
+    ))
+    print("\nLost beeps are self-detecting (the victim knows) — the "
+          "constant-overhead rewind scheme fixes them.  Phantom beeps "
+          "defeat it; they need the owners machinery (chunk-commit), and "
+          "Theorem 1.1 shows the Θ(log n) premium is then unavoidable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates full PEP 660 editable-install support,
+so ``pip install -e .`` falls back to this shim (``--no-use-pep517``).  All
+metadata lives in ``pyproject.toml``; the explicit arguments below mirror it
+for setuptools versions whose pyproject support is incomplete.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Noisy Beeps' (Efremenko, Kol, Saxena; PODC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

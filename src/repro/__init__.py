@@ -1,0 +1,178 @@
+"""repro — a reproduction of *Noisy Beeps* (Efremenko, Kol, Saxena; PODC 2020).
+
+The package implements the n-party beeping model under correlated stochastic
+noise, the paper's O(log n)-overhead noise-resilient simulation scheme
+(Theorem 1.2, chunked simulation with owner finding), the constant-overhead
+scheme for suppression noise, the ``InputSet_n`` hard instance, and the full
+lower-bound machinery of Appendix C (feasible sets, good players, the ζ
+progress measure) evaluated exactly on small instances.
+
+Quickstart::
+
+    import random
+    from repro import (
+        CorrelatedNoiseChannel, ChunkCommitSimulator, InputSetTask,
+    )
+
+    task = InputSetTask(n_parties=8)
+    inputs = task.sample_inputs(random.Random(0))
+    channel = CorrelatedNoiseChannel(epsilon=0.1, rng=1)
+    result = ChunkCommitSimulator().simulate(
+        task.noiseless_protocol(), inputs, channel
+    )
+    assert result.common_output() == task.reference_output(inputs)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from repro.channels import (
+    BudgetedAdversaryChannel,
+    BurstNoiseChannel,
+    Channel,
+    ScriptedChannel,
+    ChannelStats,
+    CorrectingAdversaryChannel,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    RoundOutcome,
+    SharedFlipReductionChannel,
+    SuppressionNoiseChannel,
+)
+from repro.core import (
+    ExecutionResult,
+    SequentialProtocol,
+    TruncatedProtocol,
+    announce_input,
+    FormalProtocol,
+    FunctionalParty,
+    FunctionalProtocol,
+    Party,
+    Protocol,
+    RoundRecord,
+    Transcript,
+    run_protocol,
+)
+from repro.core.formal import NoiseModel, formalize_protocol
+from repro.coding import (
+    BlockCode,
+    GreedyRandomCode,
+    HadamardCode,
+    MLDecoder,
+    MinDistanceDecoder,
+    RepetitionCode,
+)
+from repro.simulation import (
+    ChunkCommitSimulator,
+    HierarchicalSimulator,
+    OneSidedReductionProtocol,
+    OwnersProtocol,
+    RepetitionSimulator,
+    RewindSimulator,
+    SimulationParameters,
+    SimulationReport,
+    Simulator,
+    repetitions_for,
+)
+from repro.tasks import (
+    BitExchangeTask,
+    InputSetTask,
+    MaxIdTask,
+    OrTask,
+    ParityTask,
+    PointerChasingTask,
+    SizeEstimateTask,
+    Task,
+)
+from repro.lowerbound import LowerBoundAnalyzer
+from repro.errors import (
+    ChannelError,
+    CodingError,
+    ConfigurationError,
+    DecodingError,
+    ProtocolDesyncError,
+    ProtocolError,
+    ReproError,
+    SimulationBudgetExceeded,
+    SimulationError,
+    TaskError,
+    TranscriptError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # channels
+    "Channel",
+    "ChannelStats",
+    "RoundOutcome",
+    "NoiselessChannel",
+    "CorrelatedNoiseChannel",
+    "OneSidedNoiseChannel",
+    "SuppressionNoiseChannel",
+    "IndependentNoiseChannel",
+    "CorrectingAdversaryChannel",
+    "BudgetedAdversaryChannel",
+    "SharedFlipReductionChannel",
+    "BurstNoiseChannel",
+    "ScriptedChannel",
+    # core
+    "Party",
+    "FunctionalParty",
+    "Protocol",
+    "FunctionalProtocol",
+    "FormalProtocol",
+    "formalize_protocol",
+    "NoiseModel",
+    "RoundRecord",
+    "Transcript",
+    "ExecutionResult",
+    "run_protocol",
+    "SequentialProtocol",
+    "TruncatedProtocol",
+    "announce_input",
+    "formalize_protocol",
+    # coding
+    "BlockCode",
+    "RepetitionCode",
+    "HadamardCode",
+    "GreedyRandomCode",
+    "MLDecoder",
+    "MinDistanceDecoder",
+    # simulation
+    "Simulator",
+    "SimulationParameters",
+    "SimulationReport",
+    "RepetitionSimulator",
+    "ChunkCommitSimulator",
+    "HierarchicalSimulator",
+    "RewindSimulator",
+    "OwnersProtocol",
+    "OneSidedReductionProtocol",
+    "repetitions_for",
+    # tasks
+    "Task",
+    "InputSetTask",
+    "OrTask",
+    "ParityTask",
+    "BitExchangeTask",
+    "MaxIdTask",
+    "SizeEstimateTask",
+    "PointerChasingTask",
+    # lower bound
+    "LowerBoundAnalyzer",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "ProtocolDesyncError",
+    "TranscriptError",
+    "ChannelError",
+    "CodingError",
+    "DecodingError",
+    "SimulationError",
+    "SimulationBudgetExceeded",
+    "TaskError",
+]

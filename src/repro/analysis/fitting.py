@@ -1,0 +1,76 @@
+"""Least-squares fits for the overhead curves.
+
+Theorem 1.2 predicts simulation overhead ``a + b·log₂ n`` with ``b > 0``;
+the constant-overhead claim for suppression noise predicts ``b ≈ 0``.
+:func:`fit_log` performs the corresponding 1-D linear regression (on
+``log₂ n``) and reports ``R²`` so benchmark tables can show both the slope
+and how well the logarithm explains the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogFit", "fit_linear", "fit_log"]
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """Result of fitting ``y ≈ intercept + slope · t``.
+
+    ``t`` is the (possibly transformed) regressor — ``log₂ n`` for
+    :func:`fit_log`, raw ``x`` for :func:`fit_linear`.
+
+    Attributes:
+        intercept: Fitted ``a``.
+        slope: Fitted ``b``.
+        r_squared: Coefficient of determination in [0, 1] (1.0 when the
+            responses are constant and perfectly predicted).
+    """
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def predict(self, t: float) -> float:
+        """The fitted value at regressor ``t``."""
+        return self.intercept + self.slope * t
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LogFit:
+    """Ordinary least squares ``y ≈ a + b·x``."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    design = np.column_stack([np.ones_like(x), x])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ coefficients
+    residual = float(np.sum((y - predictions) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0.0:
+        # Constant responses: the fit is perfect up to float noise.
+        scale = max(1.0, float(np.sum(y * y)))
+        r_squared = 1.0 if residual <= 1e-12 * scale else 0.0
+    else:
+        r_squared = 1.0 - residual / total
+    return LogFit(
+        intercept=float(coefficients[0]),
+        slope=float(coefficients[1]),
+        r_squared=r_squared,
+    )
+
+
+def fit_log(ns: Sequence[float], ys: Sequence[float]) -> LogFit:
+    """Least squares ``y ≈ a + b·log₂ n`` (n must be positive)."""
+    if any(n <= 0 for n in ns):
+        raise ConfigurationError("fit_log needs positive n values")
+    return fit_linear([math.log2(n) for n in ns], ys)

@@ -1,0 +1,95 @@
+"""Terminal-friendly ASCII plots.
+
+The benchmark harness and examples run in terminals and CI logs, so the
+"figures" of this reproduction are ASCII: a scatter/line canvas with
+axis labels, suitable for overhead-vs-log-n curves and success-vs-budget
+thresholds.  Deliberately tiny — one mark style, automatic ranging — but
+fully deterministic and therefore testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot"]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 0.01 <= magnitude < 10_000:
+        return f"{value:.4g}"
+    return f"{value:.1e}"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 16,
+    mark: str = "*",
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Args:
+        xs, ys: The data (equal, non-zero lengths).
+        width, height: Canvas size in characters (minimum 8 × 4).
+        mark: Single character used for data points.
+        title: Optional caption line.
+        x_label, y_label: Axis labels (y label is printed above the axis).
+        log_x: Plot against log₂(x) (the natural scale for overhead
+            curves; x must then be positive).
+
+    Returns:
+        The plot as a multi-line string.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    if not xs:
+        raise ConfigurationError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ConfigurationError("canvas must be at least 8 x 4")
+    if len(mark) != 1:
+        raise ConfigurationError("mark must be a single character")
+    if log_x:
+        if any(x <= 0 for x in xs):
+            raise ConfigurationError("log_x requires positive x values")
+        plot_xs = [math.log2(x) for x in xs]
+    else:
+        plot_xs = list(xs)
+    plot_ys = list(ys)
+
+    x_low, x_high = min(plot_xs), max(plot_xs)
+    y_low, y_high = min(plot_ys), max(plot_ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(plot_xs, plot_ys):
+        column = round((x - x_low) / x_span * (width - 1))
+        row = round((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top = {_format_tick(y_high)})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis_note = f"{x_label}: {_format_tick(min(xs))} .. {_format_tick(max(xs))}"
+    if log_x:
+        axis_note += " (log2 scale)"
+    lines.append(
+        axis_note + f"   {y_label}: bottom = {_format_tick(y_low)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Basic statistics for Monte-Carlo estimates.
+
+Success probabilities are binomial proportions, reported with Wilson score
+intervals (well-behaved near 0 and 1, unlike the normal approximation —
+which matters because good schemes sit very close to success probability 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["mean", "sample_std", "wilson_interval", "ProportionEstimate"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ConfigurationError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased sample standard deviation (0.0 for fewer than 2 values)."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    variance = sum((value - center) ** 2 for value in values) / (
+        len(values) - 1
+    )
+    return math.sqrt(variance)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: Number of successes observed.
+        trials: Number of trials (must be positive).
+        z: Normal quantile (1.96 ≈ 95% coverage).
+
+    Returns:
+        ``(low, high)`` bounds in [0, 1].
+    """
+    if trials <= 0:
+        raise ConfigurationError("wilson_interval needs trials > 0")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes {successes} outside [0, {trials}]"
+        )
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (proportion + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(
+            proportion * (1.0 - proportion) / trials
+            + z * z / (4.0 * trials * trials)
+        )
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A binomial proportion with its Wilson interval.
+
+    Attributes:
+        successes: Observed successes.
+        trials: Observed trials.
+    """
+
+    successes: int
+    trials: int
+
+    @property
+    def value(self) -> float:
+        """The point estimate."""
+        if self.trials == 0:
+            return 0.0
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """95% Wilson interval."""
+        return wilson_interval(self.successes, self.trials)
+
+    def __str__(self) -> str:
+        low, high = self.interval
+        return (
+            f"{self.value:.3f} "
+            f"[{low:.3f}, {high:.3f}] "
+            f"({self.successes}/{self.trials})"
+        )

@@ -1,0 +1,153 @@
+"""Monte-Carlo sweep drivers.
+
+The benchmarks all share one loop: sample task inputs, run some executor
+(a raw protocol or a simulator) over a freshly seeded channel, check the
+outputs, aggregate.  :func:`estimate_success` is that loop;
+:func:`success_curve`/:func:`overhead_curve` run it across a parameter grid.
+
+Executors receive ``(inputs, trial_seed)`` and return an
+:class:`~repro.core.result.ExecutionResult`; they are expected to construct
+their own channel from ``trial_seed`` so every trial is independent and the
+whole sweep is reproducible from one master seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.stats import ProportionEstimate, mean
+from repro.core.result import ExecutionResult
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, spawn
+from repro.tasks.base import Task
+
+__all__ = ["SweepPoint", "estimate_success", "success_curve", "overhead_curve"]
+
+Executor = Callable[[Sequence[Any], int], ExecutionResult]
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a sweep.
+
+    Attributes:
+        params: The grid coordinates (e.g. ``{"n": 16, "epsilon": 0.1}``).
+        success: Success-probability estimate with its Wilson interval.
+        mean_rounds: Mean channel rounds per trial.
+        mean_overhead: Mean ``rounds / noiseless_length`` per trial.
+        extras: Aggregated simulator metadata (mean retries etc.).
+    """
+
+    params: dict[str, Any]
+    success: ProportionEstimate
+    mean_rounds: float
+    mean_overhead: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view (for results artifacts and logs)."""
+        low, high = self.success.interval
+        return {
+            "params": dict(self.params),
+            "success": self.success.value,
+            "success_interval": [low, high],
+            "successes": self.success.successes,
+            "trials": self.success.trials,
+            "mean_rounds": self.mean_rounds,
+            "mean_overhead": self.mean_overhead,
+            "extras": dict(self.extras),
+        }
+
+
+def estimate_success(
+    task: Task,
+    executor: Executor,
+    trials: int,
+    *,
+    seed: int = 0,
+    params: dict[str, Any] | None = None,
+) -> SweepPoint:
+    """Run ``trials`` independent executions and aggregate.
+
+    Each trial gets inputs from ``task.sample_inputs`` (seeded sub-stream)
+    and a distinct ``trial_seed`` for the executor's channel/protocol
+    randomness.  Success is ``task.is_correct(inputs, outputs)``.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    noiseless_length = max(1, task.noiseless_length())
+    successes = 0
+    rounds: list[float] = []
+    retry_totals: list[float] = []
+    completed = 0
+    for trial in range(trials):
+        inputs = task.sample_inputs(spawn(seed, f"inputs[{trial}]"))
+        trial_seed = derive_seed(seed, f"trial[{trial}]")
+        result = executor(inputs, trial_seed)
+        if task.is_correct(inputs, result.outputs):
+            successes += 1
+        rounds.append(float(result.rounds))
+        report = result.metadata.get("report")
+        if report is not None:
+            retry_totals.append(float(report.chunk_attempts))
+            if report.completed:
+                completed += 1
+    extras: dict[str, float] = {}
+    if retry_totals:
+        extras["mean_chunk_attempts"] = mean(retry_totals)
+        extras["completion_rate"] = completed / trials
+    return SweepPoint(
+        params=dict(params or {}),
+        success=ProportionEstimate(successes=successes, trials=trials),
+        mean_rounds=mean(rounds),
+        mean_overhead=mean(rounds) / noiseless_length,
+        extras=extras,
+    )
+
+
+PointBuilder = Callable[[Any], tuple[Task, Executor, dict[str, Any]]]
+
+
+def success_curve(
+    values: Iterable[Any],
+    point_builder: PointBuilder,
+    trials: int,
+    *,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep a grid: ``point_builder(value) -> (task, executor, params)``.
+
+    Each grid point gets a derived seed so points are independent but the
+    curve is reproducible.
+    """
+    points: list[SweepPoint] = []
+    for index, value in enumerate(values):
+        task, executor, params = point_builder(value)
+        points.append(
+            estimate_success(
+                task,
+                executor,
+                trials,
+                seed=derive_seed(seed, f"point[{index}]"),
+                params=params,
+            )
+        )
+    return points
+
+
+def overhead_curve(
+    values: Iterable[Any],
+    point_builder: PointBuilder,
+    trials: int,
+    *,
+    seed: int = 0,
+) -> list[tuple[Any, float]]:
+    """Like :func:`success_curve` but return ``(value, mean_overhead)``
+    pairs — the series the Θ(log n) fits consume."""
+    values = list(values)
+    points = success_curve(values, point_builder, trials, seed=seed)
+    return [
+        (value, point.mean_overhead)
+        for value, point in zip(values, points)
+    ]

@@ -1,0 +1,67 @@
+"""ASCII tables for the benchmark harness.
+
+The benchmarks print their result rows (the "tables" of EXPERIMENTS.md)
+through :func:`format_table`, which right-aligns numbers, left-aligns text,
+and renders a separator under the header — readable both in a terminal and
+pasted into Markdown as a code block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values; each row must match the header width.  Floats
+            are shown with 4 significant digits.
+        title: Optional caption printed above the table.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for index, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            header.ljust(widths[col]) for col, header in enumerate(headers)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(row))
+        )
+    return "\n".join(lines)

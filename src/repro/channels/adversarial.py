@@ -1,0 +1,187 @@
+"""Adversarial channels.
+
+Two adversaries live here:
+
+* :class:`CorrectingAdversaryChannel` — the Appendix A.1.2 thought
+  experiment: a two-sided ε-noisy channel plus an adversary who may
+  *correct* (but never introduce) errors.  Correcting every 1→0 flip yields
+  exactly the one-sided channel — a second way to see that a protocol
+  robust against every adversary strategy cannot rely on the noise
+  "helping" it in one direction.
+* :class:`BudgetedAdversaryChannel` — the standard harder model of the
+  interactive-coding literature (the paper's §1.3 cites a long line of
+  adversarial-noise works): an adversary who may flip up to a *budget* of
+  rounds, placed by a strategy of its choosing rather than by coins.
+  Experiment E12 compares the stochastic guarantee the paper proves with
+  what the same schemes deliver against budget-matched adversaries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.channels.base import Channel
+from repro.errors import ConfigurationError
+from repro.util.bits import BitWord
+
+__all__ = [
+    "CorrectingAdversaryChannel",
+    "BudgetedAdversaryChannel",
+    "flip_zeros_strategy",
+    "flip_ones_strategy",
+    "periodic_strategy",
+]
+
+# A policy maps (or_value, noisy_received) -> corrected_received.  It may only
+# move the received bit *toward* the true OR (correct), never away from it.
+CorrectionPolicy = Callable[[int, int], int]
+
+
+def _correct_downward_flips(or_value: int, received: int) -> int:
+    """Default policy: undo every 1→0 flip (yields the one-sided channel)."""
+    if or_value == 1 and received == 0:
+        return 1
+    return received
+
+
+class CorrectingAdversaryChannel(Channel):
+    """A two-sided ε-noisy channel whose errors may be adversarially corrected.
+
+    Args:
+        epsilon: Two-sided flip probability of the underlying noise.
+        policy: Correction policy; defaults to correcting all 1→0 flips,
+            which makes this channel distribution-identical to
+            :class:`~repro.channels.one_sided.OneSidedNoiseChannel`.
+        rng: Noise source.
+
+    The constructor verifies the policy never *introduces* errors by spot
+    checks on the four (or, received) combinations.
+    """
+
+    correlated = True
+
+    def __init__(
+        self,
+        epsilon: float,
+        policy: CorrectionPolicy | None = None,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in [0, 1), got {epsilon}"
+            )
+        super().__init__(rng)
+        self.epsilon = epsilon
+        self.policy = policy if policy is not None else _correct_downward_flips
+        self._validate_policy()
+
+    def _validate_policy(self) -> None:
+        for or_value in (0, 1):
+            # A faithful reception must be left alone: changing it would
+            # introduce an error, which the adversary is not allowed to do.
+            if self.policy(or_value, or_value) != or_value:
+                raise ConfigurationError(
+                    "correction policy introduces errors on faithful rounds"
+                )
+            flipped = 1 - or_value
+            corrected = self.policy(or_value, flipped)
+            if corrected not in (or_value, flipped):
+                raise ConfigurationError(
+                    "correction policy output must be the noisy bit "
+                    "or the true OR"
+                )
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        noise = 1 if self._rng.random() < self.epsilon else 0
+        noisy = or_value ^ noise
+        corrected = self.policy(or_value, noisy)
+        return (corrected,) * n_parties
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CorrectingAdversaryChannel(epsilon={self.epsilon})"
+
+
+# ----------------------------------------------------------------------
+# Budgeted adversary
+# ----------------------------------------------------------------------
+
+# A strategy decides whether to spend one budget unit flipping this round,
+# given (round_index, or_value, flips_remaining).
+AdversaryStrategy = Callable[[int, int, int], bool]
+
+
+def flip_zeros_strategy(round_index: int, or_value: int, budget: int) -> bool:
+    """Spend the budget on silent rounds (0->1 flips) — the direction the
+    paper shows is hard to verify (§2.1)."""
+    return or_value == 0
+
+
+def flip_ones_strategy(round_index: int, or_value: int, budget: int) -> bool:
+    """Spend the budget suppressing beeps (1->0 flips) — the direction a
+    victim always detects."""
+    return or_value == 1
+
+
+def periodic_strategy(period: int) -> AdversaryStrategy:
+    """Flip every ``period``-th round regardless of its value (a burst-like
+    deterministic jammer)."""
+    if period < 1:
+        raise ConfigurationError(f"period must be >= 1, got {period}")
+
+    def strategy(round_index: int, or_value: int, budget: int) -> bool:
+        return round_index % period == 0
+
+    return strategy
+
+
+class BudgetedAdversaryChannel(Channel):
+    """An adversary flips up to ``budget`` rounds, chosen by ``strategy``.
+
+    Args:
+        budget: Maximum number of rounds the adversary may corrupt.
+        strategy: Decides, round by round, whether to spend a budget unit
+            (see the module-level strategies).  The adversary sees the true
+            OR of the round — it is *rushing*, like the standard model.
+        rng: Unused randomness slot kept for interface uniformity (the
+            adversary here is deterministic given the strategy).
+
+    The delivered bit is common to all parties (correlated model).
+    """
+
+    correlated = True
+
+    def __init__(
+        self,
+        budget: int,
+        strategy: AdversaryStrategy = flip_zeros_strategy,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        super().__init__(rng)
+        self.budget = budget
+        self.strategy = strategy
+        self.flips_spent = 0
+        self._round = 0
+
+    @property
+    def flips_remaining(self) -> int:
+        return self.budget - self.flips_spent
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        round_index = self._round
+        self._round += 1
+        received = or_value
+        if self.flips_remaining > 0 and self.strategy(
+            round_index, or_value, self.flips_remaining
+        ):
+            received = 1 - or_value
+            self.flips_spent += 1
+        return (received,) * n_parties
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BudgetedAdversaryChannel(budget={self.budget}, "
+            f"spent={self.flips_spent})"
+        )

@@ -1,0 +1,123 @@
+"""Abstract channel interface.
+
+A channel is the only shared medium in the beeping model.  Its one operation,
+:meth:`Channel.transmit`, takes the bits beeped by the parties in a round and
+returns a :class:`RoundOutcome` describing what each party received.
+
+Channels own their randomness: each instance carries its own
+:class:`random.Random`, seeded at construction, so that an execution is fully
+reproducible from ``(protocol seed, channel seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.channels.stats import ChannelStats
+from repro.errors import ChannelError, TranscriptError
+from repro.rng import ensure_rng
+from repro.util.bits import BitWord, or_reduce, validate_bits
+
+__all__ = ["Channel", "RoundOutcome"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Everything observable about one channel round.
+
+    Attributes:
+        or_value: The true OR of the beeped bits (before noise).
+        received: Per-party received bits, one per party.  For correlated
+            channels all entries are equal.
+    """
+
+    or_value: int
+    received: BitWord
+
+    @property
+    def common(self) -> int:
+        """The single received bit, valid only when all parties agree.
+
+        Raises :class:`TranscriptError` when the views diverge (which can
+        only happen under independent noise); code written for the
+        correlated model should use this accessor so that accidentally
+        running it over an independent-noise channel fails loudly.
+        """
+        first = self.received[0]
+        for bit in self.received:
+            if bit != first:
+                raise TranscriptError(
+                    "received bits diverge across parties; no common view"
+                )
+        return first
+
+    @property
+    def noisy(self) -> bool:
+        """True when at least one party's reception differs from the OR."""
+        return any(bit != self.or_value for bit in self.received)
+
+
+class Channel(ABC):
+    """Base class for all beeping channels.
+
+    Subclasses implement :meth:`_deliver`, mapping the true OR of a round to
+    the tuple of received bits.  ``transmit`` validates inputs, computes the
+    OR, delegates to ``_deliver`` and records statistics.
+
+    Attributes:
+        correlated: True when all parties are guaranteed identical views.
+            Protocol code that relies on a shared transcript asserts this.
+        stats: Lifetime counters; see :class:`ChannelStats`.
+    """
+
+    correlated: bool = True
+
+    def __init__(self, rng: random.Random | int | None = None) -> None:
+        self._rng = ensure_rng(rng)
+        self.stats = ChannelStats()
+
+    @abstractmethod
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        """Map the true OR to the per-party received bits."""
+
+    def transmit(self, bits: Sequence[int]) -> RoundOutcome:
+        """Transmit one round: combine ``bits`` with OR, apply noise.
+
+        Args:
+            bits: One bit per party (length defines the party count for the
+                round).  Must be non-empty.
+
+        Returns:
+            The :class:`RoundOutcome` with the true OR and per-party views.
+        """
+        word = validate_bits(bits)
+        if not word:
+            raise ChannelError("transmit() needs at least one party")
+        or_value = or_reduce(word)
+        received = self._deliver(or_value, len(word))
+        if self.correlated:
+            # One shared noise event per round, counted once.
+            flipped = received[0] != or_value
+            flips_up = 1 if flipped and or_value == 0 else 0
+            flips_down = 1 if flipped and or_value == 1 else 0
+        else:
+            # Independent noise: count per-party reception flips.
+            flips_up = sum(1 for bit in received if bit == 1 and or_value == 0)
+            flips_down = sum(1 for bit in received if bit == 0 and or_value == 1)
+        self.stats.record(
+            beeps=sum(word),
+            or_value=or_value,
+            flips_up=flips_up,
+            flips_down=flips_down,
+        )
+        return RoundOutcome(or_value=or_value, received=received)
+
+    def reset_stats(self) -> None:
+        """Clear the statistics counters without touching the noise stream."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

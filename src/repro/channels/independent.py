@@ -1,0 +1,48 @@
+"""Independent per-party noise (§1.2).
+
+Each party receives its *own* ε-noisy copy of the round's OR, so different
+parties may witness different transcripts.  The paper's upper bound
+(Theorem 1.2) still applies in this model, but the lower bound proof breaks
+— indeed the paper conjectures the hard instance admits an O(log log n)
+simulation here.  Experiment E7 contrasts the two noise models empirically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.channels.base import Channel
+from repro.errors import ConfigurationError
+from repro.util.bits import BitWord
+
+__all__ = ["IndependentNoiseChannel"]
+
+
+class IndependentNoiseChannel(Channel):
+    """Every party independently receives ``OR ⊕ N_ε``.
+
+    ``correlated`` is False: protocol code requiring a shared transcript
+    (e.g. the owners phase bookkeeping) must tolerate divergent views or
+    refuse to run over this channel.
+    """
+
+    correlated = False
+
+    def __init__(
+        self, epsilon: float, rng: random.Random | int | None = None
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in [0, 1), got {epsilon}"
+            )
+        super().__init__(rng)
+        self.epsilon = epsilon
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        return tuple(
+            or_value ^ (1 if self._rng.random() < self.epsilon else 0)
+            for _ in range(n_parties)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndependentNoiseChannel(epsilon={self.epsilon})"

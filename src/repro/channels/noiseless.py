@@ -1,0 +1,25 @@
+"""The classic noiseless beeping channel [CK10].
+
+Every party receives exactly the OR of the beeped bits.  This is the model in
+which the protocols being simulated are designed, and the ε=0 special case of
+every noisy channel in this package.
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import Channel
+from repro.util.bits import BitWord
+
+__all__ = ["NoiselessChannel"]
+
+
+class NoiselessChannel(Channel):
+    """Delivers the true OR to every party, always."""
+
+    correlated = True
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        return (or_value,) * n_parties
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoiselessChannel()"

@@ -1,0 +1,94 @@
+"""The two-sided → one-sided reduction of Appendix A.1.2.
+
+The paper shows every protocol over the two-sided ε=1/4 channel can be run
+over the *one-sided* ε=1/3 channel given shared randomness: whenever the
+parties receive a 1 they flip it to 0 with probability 1/4, using the shared
+random string (so all parties flip together).  The resulting received bit has
+exactly the two-sided ε=1/4 distribution:
+
+* true OR = 1: the one-sided channel delivers 1 always; the shared flip turns
+  it into 0 with probability 1/4 → error probability 1/4.  ✓
+* true OR = 0: the one-sided channel delivers 1 with probability 1/3, which
+  survives the down-flip with probability 3/4 → received 1 with probability
+  (1/3)·(3/4) = 1/4.  ✓
+
+:class:`SharedFlipReductionChannel` packages the construction as a channel so
+any protocol written for the two-sided model runs over it unchanged; the
+shared down-flip coins are modelled as a dedicated RNG stream standing in for
+the parties' shared random string.  Experiment E7 verifies the distributional
+identity with frequency tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.channels.base import Channel
+from repro.channels.one_sided import OneSidedNoiseChannel
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, ensure_rng
+from repro.util.bits import BitWord
+
+__all__ = ["SharedFlipReductionChannel"]
+
+
+class SharedFlipReductionChannel(Channel):
+    """One-sided ε_up channel + shared down-flip with probability ``p_down``.
+
+    With the paper's parameters (``epsilon_up=1/3``, ``p_down=1/4``) this is
+    distribution-identical to ``CorrelatedNoiseChannel(1/4)``.  The general
+    construction emulates a two-sided channel with
+
+    * Pr[receive 0 | OR = 1] = ``p_down``
+    * Pr[receive 1 | OR = 0] = ``epsilon_up · (1 - p_down)``
+
+    so a symmetric ε requires ``epsilon_up = p_down / (1 - p_down)`` and
+    ``p_down = ε``.
+
+    Args:
+        epsilon_up: 0→1 flip probability of the underlying one-sided channel.
+        p_down: Shared-randomness probability of flipping a received 1 to 0.
+        rng: Master seed; the one-sided noise and the shared coins are
+            derived as independent sub-streams.
+    """
+
+    correlated = True
+
+    def __init__(
+        self,
+        epsilon_up: float = 1.0 / 3.0,
+        p_down: float = 1.0 / 4.0,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if not 0.0 <= p_down < 1.0:
+            raise ConfigurationError(f"p_down must be in [0, 1), got {p_down}")
+        master = ensure_rng(rng)
+        # Derive two decorrelated streams from one master seed so the
+        # channel noise and the "shared random string" are independent.
+        base_seed = master.getrandbits(64)
+        super().__init__(derive_seed(base_seed, "shared-flip"))
+        self.inner = OneSidedNoiseChannel(
+            epsilon_up, rng=derive_seed(base_seed, "one-sided-noise")
+        )
+        self.epsilon_up = epsilon_up
+        self.p_down = p_down
+
+    @property
+    def emulated_epsilon(self) -> tuple[float, float]:
+        """(Pr[1→0], Pr[0→1]) of the emulated two-sided channel."""
+        return (self.p_down, self.epsilon_up * (1.0 - self.p_down))
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        inner_outcome = self.inner.transmit(
+            (or_value,) + (0,) * (n_parties - 1) if n_parties > 1 else (or_value,)
+        )
+        received = inner_outcome.common
+        if received == 1 and self._rng.random() < self.p_down:
+            received = 0
+        return (received,) * n_parties
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedFlipReductionChannel(epsilon_up={self.epsilon_up}, "
+            f"p_down={self.p_down})"
+        )

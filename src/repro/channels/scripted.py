@@ -1,0 +1,94 @@
+"""Deterministic, scripted noise — fault injection for tests.
+
+Statistical tests tell you a scheme *usually* survives noise; scripted
+noise lets a test place one flip at an exact round and assert precisely
+what the scheme does with it (a retry, a rewind, an owner mismatch).  The
+engine and simulators treat :class:`ScriptedChannel` like any other
+correlated channel.
+
+Two scripting modes:
+
+* ``flip_rounds`` — a set of absolute round indices (0-based, counted over
+  the channel's lifetime) whose delivered bit is inverted;
+* ``pattern`` — an explicit 0/1 noise pattern, XOR-ed round by round
+  (shorter patterns leave later rounds clean; this is the "noise tape"
+  view of the A.1.1 definition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.channels.base import Channel
+from repro.errors import ConfigurationError
+from repro.util.bits import BitWord, validate_bits
+
+__all__ = ["ScriptedChannel"]
+
+
+class ScriptedChannel(Channel):
+    """Correlated channel whose noise is a fixed script, not a coin.
+
+    Args:
+        flip_rounds: Round indices to invert (mutually exclusive with
+            ``pattern``).
+        pattern: Explicit per-round noise bits to XOR in.
+        one_sided_up: Restrict flips to 0→1 (a scripted version of the
+            one-sided model): a scheduled flip on a round whose OR is 1 is
+            suppressed.
+        one_sided_down: Restrict flips to 1→0 (scripted suppression noise).
+    """
+
+    correlated = True
+
+    def __init__(
+        self,
+        flip_rounds: Iterable[int] | None = None,
+        pattern: Sequence[int] | None = None,
+        *,
+        one_sided_up: bool = False,
+        one_sided_down: bool = False,
+    ) -> None:
+        if (flip_rounds is None) == (pattern is None):
+            raise ConfigurationError(
+                "provide exactly one of flip_rounds or pattern"
+            )
+        if one_sided_up and one_sided_down:
+            raise ConfigurationError(
+                "a flip cannot be both 0->1-only and 1->0-only"
+            )
+        super().__init__(rng=0)
+        if flip_rounds is not None:
+            self.flip_rounds = frozenset(int(r) for r in flip_rounds)
+            if any(r < 0 for r in self.flip_rounds):
+                raise ConfigurationError("round indices must be >= 0")
+            self.pattern: BitWord | None = None
+        else:
+            self.pattern = validate_bits(pattern or ())
+            self.flip_rounds = frozenset()
+        self.one_sided_up = one_sided_up
+        self.one_sided_down = one_sided_down
+        self._round = 0
+
+    def _scheduled(self, round_index: int) -> bool:
+        if self.pattern is not None:
+            return (
+                round_index < len(self.pattern)
+                and self.pattern[round_index] == 1
+            )
+        return round_index in self.flip_rounds
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        flip = self._scheduled(self._round)
+        self._round += 1
+        if flip and self.one_sided_up and or_value == 1:
+            flip = False
+        if flip and self.one_sided_down and or_value == 0:
+            flip = False
+        received = or_value ^ (1 if flip else 0)
+        return (received,) * n_parties
+
+    @property
+    def rounds_elapsed(self) -> int:
+        """How many rounds this channel has carried."""
+        return self._round

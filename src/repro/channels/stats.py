@@ -1,0 +1,78 @@
+"""Per-channel execution statistics.
+
+Channels record one entry per transmitted round.  The counters here drive the
+benchmark tables (rounds used, noise events observed, beep energy) and make
+tests of the noise distribution straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate counters for a channel's lifetime.
+
+    Attributes:
+        rounds: Total rounds transmitted.
+        beeps_sent: Total number of 1-bits beeped by parties (energy).
+        or_ones: Rounds whose true OR was 1.
+        flips_up: Rounds in which noise turned a 0 into a received 1
+            (for independent noise: number of *party receptions* flipped up).
+        flips_down: Rounds in which noise turned a 1 into a received 0
+            (same convention for independent noise).
+    """
+
+    rounds: int = 0
+    beeps_sent: int = 0
+    or_ones: int = 0
+    flips_up: int = 0
+    flips_down: int = 0
+    _history_enabled: bool = field(default=False, repr=False)
+
+    @property
+    def flips(self) -> int:
+        """Total noise events (both directions)."""
+        return self.flips_up + self.flips_down
+
+    @property
+    def empirical_flip_rate(self) -> float:
+        """Fraction of rounds affected by noise (0.0 when no rounds ran)."""
+        if self.rounds == 0:
+            return 0.0
+        return self.flips / self.rounds
+
+    def record(
+        self,
+        beeps: int,
+        or_value: int,
+        flips_up: int,
+        flips_down: int,
+    ) -> None:
+        """Record one transmitted round."""
+        self.rounds += 1
+        self.beeps_sent += beeps
+        self.or_ones += or_value
+        self.flips_up += flips_up
+        self.flips_down += flips_down
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark repetitions)."""
+        self.rounds = 0
+        self.beeps_sent = 0
+        self.or_ones = 0
+        self.flips_up = 0
+        self.flips_down = 0
+
+    def snapshot(self) -> "ChannelStats":
+        """An independent copy of the current counters."""
+        return ChannelStats(
+            rounds=self.rounds,
+            beeps_sent=self.beeps_sent,
+            or_ones=self.or_ones,
+            flips_up=self.flips_up,
+            flips_down=self.flips_down,
+        )

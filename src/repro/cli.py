@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package, model and scheme summary.
+* ``demo`` — run one task over a noisy channel with a chosen simulator and
+  print what happened (the quickstart, parameterised).
+* ``overhead`` — measure the simulation overhead across a sweep of n and
+  fit the Θ(log n) curve.
+* ``experiments`` — list the benchmark experiments and how to run them.
+
+Every command is a plain function taking parsed arguments and returning an
+exit code, so the CLI is unit-testable without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.analysis import estimate_success, fit_log, format_table
+from repro.channels import (
+    BurstNoiseChannel,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.simulation import (
+    ChunkCommitSimulator,
+    HierarchicalSimulator,
+    RepetitionSimulator,
+    RewindSimulator,
+)
+from repro.tasks import (
+    BitExchangeTask,
+    InputSetTask,
+    MaxIdTask,
+    OrTask,
+    ParityTask,
+    PointerChasingTask,
+    SizeEstimateTask,
+)
+
+__all__ = ["main", "build_parser"]
+
+_CHANNELS = {
+    "noiseless": lambda epsilon, seed: NoiselessChannel(),
+    "correlated": lambda epsilon, seed: CorrelatedNoiseChannel(
+        epsilon, rng=seed
+    ),
+    "one-sided": lambda epsilon, seed: OneSidedNoiseChannel(
+        epsilon, rng=seed
+    ),
+    "suppression": lambda epsilon, seed: SuppressionNoiseChannel(
+        epsilon, rng=seed
+    ),
+    "independent": lambda epsilon, seed: IndependentNoiseChannel(
+        epsilon, rng=seed
+    ),
+    "burst": lambda epsilon, seed: BurstNoiseChannel.matched_to(
+        epsilon, burst_length=8, rng=seed
+    ),
+}
+
+_SIMULATORS = {
+    "none": None,
+    "repetition": RepetitionSimulator,
+    "chunk": ChunkCommitSimulator,
+    "hierarchical": HierarchicalSimulator,
+    "rewind": RewindSimulator,
+}
+
+
+def _make_task(name: str, n: int):
+    factories = {
+        "input-set": lambda: InputSetTask(n),
+        "or": lambda: OrTask(n),
+        "parity": lambda: ParityTask(n),
+        "max-id": lambda: MaxIdTask(n, id_bits=max(4, n.bit_length() + 2)),
+        "bit-exchange": lambda: BitExchangeTask(max(2, n)),
+        "size-estimate": lambda: SizeEstimateTask(n),
+        "pointer-chasing": lambda: PointerChasingTask(
+            depth=max(2, n), domain_bits=3
+        ),
+    }
+    return factories[name]()
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — reproduction of 'Noisy Beeps' "
+          "(Efremenko, Kol, Saxena; PODC 2020)")
+    print()
+    print("Model: n-party beeping channel; every round delivers the OR of")
+    print("the beeped bits, flipped with probability epsilon (correlated:")
+    print("all parties receive the same flip).")
+    print()
+    print("Channels  :", ", ".join(sorted(_CHANNELS)))
+    print("Simulators:", ", ".join(sorted(_SIMULATORS)))
+    print("Tasks     : input-set, or, parity, max-id, bit-exchange, "
+          "size-estimate, pointer-chasing")
+    print()
+    print("Headline results: simulation over noise costs Theta(log n) —")
+    print("necessary (Theorem 1.1) and sufficient (Theorem 1.2).")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    task = _make_task(args.task, args.n)
+    channel_factory = _CHANNELS[args.channel]
+    simulator_cls = _SIMULATORS[args.simulator]
+    rng = random.Random(args.seed)
+
+    wins = 0
+    rounds = 0
+    overhead = 0.0
+    for trial in range(args.trials):
+        inputs = task.sample_inputs(rng)
+        channel = channel_factory(args.epsilon, args.seed + 7919 * trial)
+        if simulator_cls is None:
+            from repro.core import run_protocol
+
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, channel
+            )
+        else:
+            result = simulator_cls().simulate(
+                task.noiseless_protocol(), inputs, channel
+            )
+        wins += task.is_correct(inputs, result.outputs)
+        rounds = result.rounds
+        overhead = result.rounds / max(1, task.noiseless_length())
+    print(
+        f"task={args.task} n={task.n_parties} channel={args.channel} "
+        f"epsilon={args.epsilon} simulator={args.simulator}"
+    )
+    print(
+        f"success: {wins}/{args.trials}   rounds: {rounds} "
+        f"(overhead x{overhead:.1f} vs {task.noiseless_length()} noiseless)"
+    )
+    return 0 if wins > args.trials // 2 else 1
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    ns = args.ns
+    simulator_cls = _SIMULATORS[args.simulator]
+    if simulator_cls is None:
+        print("overhead needs a real simulator (not 'none')", file=sys.stderr)
+        return 2
+    rows = []
+    overheads = []
+    for n in ns:
+        task = InputSetTask(n)
+        simulator = simulator_cls()
+
+        def executor(inputs, trial_seed, _task=task, _sim=simulator):
+            channel = CorrelatedNoiseChannel(args.epsilon, rng=trial_seed)
+            return _sim.simulate(
+                _task.noiseless_protocol(), inputs, channel
+            )
+
+        point = estimate_success(
+            task, executor, trials=args.trials, seed=args.seed + n
+        )
+        overheads.append(point.mean_overhead)
+        rows.append(
+            [
+                n,
+                2 * n,
+                f"{point.mean_overhead:.1f}",
+                f"{point.success.value:.2f}",
+            ]
+        )
+    print(format_table(
+        ["n", "noiseless T", "overhead", "success"],
+        rows,
+        title=(
+            f"{args.simulator} overhead on InputSet_n "
+            f"(epsilon={args.epsilon})"
+        ),
+    ))
+    if len(ns) >= 2:
+        fit = fit_log(ns, overheads)
+        print(
+            f"fit: overhead = {fit.intercept:.1f} + "
+            f"{fit.slope:.1f} * log2(n)   R^2 = {fit.r_squared:.3f}"
+        )
+    return 0
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY
+
+    experiments = [
+        (module.ID, module.TITLE)
+        for module in sorted(
+            REGISTRY.values(), key=lambda m: int(m.ID[1:])
+        )
+    ]
+    print(format_table(["id", "claim"], experiments, title="Experiments"))
+    print("\nrun one :  python -m repro run-experiment E1")
+    print("run all :  python -m pytest benchmarks/ --benchmark-only")
+    print("results :  benchmarks/results/*.txt  (quoted in EXPERIMENTS.md)")
+    return 0
+
+
+def cmd_run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        args.experiment, seed=args.seed, scale=args.scale
+    )
+    print(result.summary())
+    return 0 if result.all_passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import generate_report
+
+    report = generate_report(
+        seed=args.seed,
+        scale=args.scale,
+        only=args.only,
+        progress=lambda identifier: print(
+            f"running {identifier} ...", file=sys.stderr
+        ),
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noisy Beeps (PODC 2020) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="model and package summary")
+    info.set_defaults(func=cmd_info)
+
+    demo = subparsers.add_parser(
+        "demo", help="run a task over a noisy channel"
+    )
+    demo.add_argument(
+        "--task",
+        choices=[
+            "input-set",
+            "or",
+            "parity",
+            "max-id",
+            "bit-exchange",
+            "size-estimate",
+            "pointer-chasing",
+        ],
+        default="input-set",
+    )
+    demo.add_argument("--n", type=int, default=8, help="party count")
+    demo.add_argument(
+        "--channel", choices=sorted(_CHANNELS), default="correlated"
+    )
+    demo.add_argument("--epsilon", type=float, default=0.1)
+    demo.add_argument(
+        "--simulator", choices=sorted(_SIMULATORS), default="chunk"
+    )
+    demo.add_argument("--trials", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    overhead = subparsers.add_parser(
+        "overhead", help="measure the Theta(log n) overhead curve"
+    )
+    overhead.add_argument(
+        "--ns", type=int, nargs="+", default=[4, 8, 16, 32]
+    )
+    overhead.add_argument("--epsilon", type=float, default=0.1)
+    overhead.add_argument(
+        "--simulator",
+        choices=[name for name in sorted(_SIMULATORS) if name != "none"],
+        default="chunk",
+    )
+    overhead.add_argument("--trials", type=int, default=3)
+    overhead.add_argument("--seed", type=int, default=0)
+    overhead.set_defaults(func=cmd_overhead)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list the E1-E13 experiments"
+    )
+    experiments.set_defaults(func=cmd_experiments)
+
+    run_exp = subparsers.add_parser(
+        "run-experiment", help="run one experiment and print its checks"
+    )
+    run_exp.add_argument(
+        "experiment", help="experiment id, e.g. E1 (case-insensitive)"
+    )
+    run_exp.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trial multiplier (< 1 for a quick look)",
+    )
+    run_exp.add_argument("--seed", type=int, default=0)
+    run_exp.set_defaults(func=cmd_run_experiment)
+
+    report = subparsers.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report.add_argument(
+        "--only", nargs="+", help="experiment ids (default: all)"
+    )
+    report.add_argument(
+        "--scale", type=float, default=1.0, help="trial multiplier"
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly like
+        # a well-behaved Unix tool.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

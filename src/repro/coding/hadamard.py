@@ -1,0 +1,48 @@
+"""Walsh–Hadamard code.
+
+The codeword of a ``k``-bit message ``s`` is the evaluation of the parity
+``⟨s, j⟩ mod 2`` at every ``j ∈ {0,1}^k``, giving length ``2^k`` and relative
+distance exactly 1/2 between distinct codewords — the best possible for this
+many codewords by the Plotkin bound.
+
+Two properties make it attractive for the owners phase:
+
+* message 0 encodes to the all-zero word, which is what the channel shows
+  when *nobody* beeps — so "silence" is a codeword for free;
+* every nonzero codeword has weight exactly ``2^{k-1}``, i.e. it is as far
+  from silence as from any other codeword.
+
+The price is rate: length ``2^k`` is exponential in the message length, so
+for symbols over ``[n]`` the codeword length is Θ(n) rather than Θ(log n).
+The owners phase uses it only for small alphabets / ablations; the Θ(log n)
+workhorse is :class:`~repro.coding.random_code.GreedyRandomCode`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coding.code import BlockCode
+from repro.util.bits import BitWord
+
+__all__ = ["HadamardCode"]
+
+
+def _parity(value: int) -> int:
+    """Parity of the set bits of ``value``."""
+    return bin(value).count("1") & 1
+
+
+class HadamardCode(BlockCode):
+    """Codeword of ``s``: ``(⟨s, j⟩ mod 2)`` for ``j = 0 .. 2^k - 1``."""
+
+    def __init__(self, num_symbols: int) -> None:
+        k = max(1, math.ceil(math.log2(max(num_symbols, 2))))
+        super().__init__(num_symbols, 1 << k)
+        self.message_bits = k
+
+    def encode(self, symbol: int) -> BitWord:
+        self._check_symbol(symbol)
+        return tuple(
+            _parity(symbol & j) for j in range(self.codeword_length)
+        )

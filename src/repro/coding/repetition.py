@@ -1,0 +1,43 @@
+"""Repetition code: each message bit beeped ``r`` times.
+
+This is the code behind footnote 1 of the paper ("protocols of length
+polynomial in n can trivially be simulated by repeating every round
+O(log n) times and taking the majority") and serves as the simplest
+baseline/ablation against the Hadamard and random codes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coding.code import BlockCode
+from repro.errors import ConfigurationError
+from repro.util.bits import BitWord, int_to_bits
+
+__all__ = ["RepetitionCode"]
+
+
+class RepetitionCode(BlockCode):
+    """Binary expansion of the symbol, each bit repeated ``repetitions`` times.
+
+    Args:
+        num_symbols: Alphabet size; symbols are written in
+            ``ceil(log2(num_symbols))`` bits (minimum 1).
+        repetitions: How many times each bit is repeated; the code's minimum
+            distance equals ``repetitions``.
+    """
+
+    def __init__(self, num_symbols: int, repetitions: int) -> None:
+        if repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {repetitions}"
+            )
+        width = max(1, math.ceil(math.log2(max(num_symbols, 2))))
+        super().__init__(num_symbols, width * repetitions)
+        self.width = width
+        self.repetitions = repetitions
+
+    def encode(self, symbol: int) -> BitWord:
+        self._check_symbol(symbol)
+        bits = int_to_bits(symbol, self.width)
+        return tuple(bit for bit in bits for _ in range(self.repetitions))

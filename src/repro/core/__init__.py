@@ -1,0 +1,40 @@
+"""Protocol runtime: parties, protocols, transcripts and the engine.
+
+Protocols are expressed in a coroutine style: each party is a generator that
+*yields* the bit it beeps and is *sent back* the bit it received from the
+channel.  This keeps multi-phase schemes (repetition coding, owner finding,
+rewind-if-error) readable as straight-line code while the engine enforces the
+beeping model's lock-step synchrony.
+
+The paper's formalism — a protocol as a tuple ``(T, {f_m^i}, {g^i})`` of
+explicit broadcast and output functions — is available in
+:mod:`repro.core.formal` and is what the exact lower-bound machinery runs on.
+"""
+
+from repro.core.party import Party, FunctionalParty
+from repro.core.protocol import Protocol, FunctionalProtocol
+from repro.core.transcript import RoundRecord, Transcript
+from repro.core.result import ExecutionResult
+from repro.core.engine import run_protocol
+from repro.core.formal import FormalProtocol, formalize_protocol
+from repro.core.compose import (
+    SequentialProtocol,
+    TruncatedProtocol,
+    announce_input,
+)
+
+__all__ = [
+    "Party",
+    "FunctionalParty",
+    "Protocol",
+    "FunctionalProtocol",
+    "RoundRecord",
+    "Transcript",
+    "ExecutionResult",
+    "run_protocol",
+    "FormalProtocol",
+    "formalize_protocol",
+    "SequentialProtocol",
+    "TruncatedProtocol",
+    "announce_input",
+]

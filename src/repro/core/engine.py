@@ -1,0 +1,140 @@
+"""The lock-step execution engine.
+
+:func:`run_protocol` drives a set of party coroutines over a channel, round
+by round, enforcing the beeping model's synchrony:
+
+1. ask every party for its bit (``next``/``send`` on its generator);
+2. transmit the bits through the channel;
+3. deliver each party its received bit.
+
+All parties must terminate in the same round — a party finishing early while
+another still wants to beep indicates a protocol bug and raises
+:class:`~repro.errors.ProtocolDesyncError`.  A ``max_rounds`` guard turns
+runaway protocols into a clean failure instead of an infinite loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.core.transcript import RoundRecord, Transcript
+from repro.errors import ProtocolDesyncError, ProtocolError
+from repro.util.bits import validate_bit
+
+__all__ = ["run_protocol"]
+
+_DEFAULT_MAX_ROUNDS = 10_000_000
+
+
+def run_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    record_sent: bool = True,
+    max_rounds: int = _DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """Execute ``protocol`` on ``inputs`` over ``channel``.
+
+    Args:
+        protocol: The protocol factory.
+        inputs: One input per party.
+        channel: Any :class:`~repro.channels.base.Channel`; its statistics
+            for this run are snapshotted into the result.
+        shared_seed: Shared-randomness seed handed to every party
+            (``None`` for deterministic protocols).
+        record_sent: Keep the per-round sent bits in the transcript.  Turn
+            off for long benchmark runs to save memory.
+        max_rounds: Hard cap on the number of rounds.
+
+    Returns:
+        An :class:`~repro.core.result.ExecutionResult`.
+
+    Raises:
+        ProtocolDesyncError: Parties disagreed on when to stop.
+        ProtocolError: The protocol exceeded ``max_rounds``.
+    """
+    parties = protocol.create_parties(inputs, shared_seed=shared_seed)
+    n_parties = len(parties)
+    programs = [party.run() for party in parties]
+
+    outputs: list[Any] = [None] * n_parties
+    transcript = Transcript(n_parties)
+    stats_before = channel.stats.snapshot()
+    # Per-party beep counts: the *energy* each party spends, a first-class
+    # complexity measure in the beeping literature (tracked regardless of
+    # record_sent, because it is O(n) total, not O(n·T)).
+    beeps_per_party = [0] * n_parties
+
+    # Prime every coroutine to its first yield; collect outputs of parties
+    # whose program has zero rounds.
+    pending_bits: list[int | None] = [None] * n_parties
+    finished = [False] * n_parties
+    for index, program in enumerate(programs):
+        try:
+            pending_bits[index] = validate_bit(next(program))
+        except StopIteration as stop:
+            finished[index] = True
+            outputs[index] = stop.value
+
+    rounds = 0
+    while not all(finished):
+        if any(finished):
+            laggards = [i for i, done in enumerate(finished) if not done]
+            raise ProtocolDesyncError(
+                f"parties {laggards} still communicating after others "
+                f"finished at round {rounds}"
+            )
+        if rounds >= max_rounds:
+            raise ProtocolError(
+                f"protocol exceeded max_rounds={max_rounds}"
+            )
+
+        sent = tuple(pending_bits[index] for index in range(n_parties))
+        for index, bit in enumerate(sent):
+            beeps_per_party[index] += bit
+        outcome = channel.transmit(sent)
+        transcript.append(
+            RoundRecord(
+                sent=sent if record_sent else None,
+                or_value=outcome.or_value,
+                received=outcome.received,
+            )
+        )
+        rounds += 1
+
+        for index, program in enumerate(programs):
+            try:
+                pending_bits[index] = validate_bit(
+                    program.send(outcome.received[index])
+                )
+            except StopIteration as stop:
+                finished[index] = True
+                outputs[index] = stop.value
+
+    stats_after = channel.stats.snapshot()
+    delta = _stats_delta(stats_before, stats_after)
+    return ExecutionResult(
+        outputs=outputs,
+        transcript=transcript,
+        rounds=rounds,
+        channel_stats=delta,
+        beeps_per_party=tuple(beeps_per_party),
+    )
+
+
+def _stats_delta(before, after):
+    """Channel counters accumulated during this execution only."""
+    from repro.channels.stats import ChannelStats
+
+    return ChannelStats(
+        rounds=after.rounds - before.rounds,
+        beeps_sent=after.beeps_sent - before.beeps_sent,
+        or_ones=after.or_ones - before.or_ones,
+        flips_up=after.flips_up - before.flips_up,
+        flips_down=after.flips_down - before.flips_down,
+    )

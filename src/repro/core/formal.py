@@ -1,0 +1,383 @@
+"""The paper's formal protocol model, executable and exactly analysable.
+
+Appendix A.1.1 defines a deterministic protocol as a tuple
+``(T, {f_m^i}, {g^i})`` where ``f_m^i : X^i × {0,1}^{m-1} → {0,1}`` is party
+``i``'s broadcast function for round ``m`` and ``g^i`` its output function.
+:class:`FormalProtocol` represents exactly this object and exposes the
+quantities the lower-bound proof manipulates:
+
+* the beep sets ``B_m(x, π)`` — who beeped 1 in round ``m``;
+* the round partition ``A_0, A'_0, A_i, A_{n+1}`` of Theorem C.2;
+* the exact transcript probability ``Pr(π | x)`` under the one-sided or
+  two-sided noise model (the product formula used throughout Appendix C);
+* exhaustive enumeration of positive-probability transcripts, with pruning
+  (under one-sided noise, rounds with a beeper force ``π_m = 1``).
+
+Everything here is exact rational-free floating point arithmetic over small
+instances; the Monte-Carlo layer in :mod:`repro.analysis` covers large ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.party import FunctionalParty, Party
+from repro.core.protocol import Protocol
+from repro.errors import ConfigurationError, ProtocolError
+from repro.util.bits import BitWord
+
+__all__ = [
+    "FormalProtocol",
+    "RoundPartition",
+    "NoiseModel",
+    "formalize_protocol",
+]
+
+# f(i, x_i, received_prefix) -> bit
+SharedBroadcast = Callable[[int, Any, Sequence[int]], int]
+# Transcript-determined output (the paper's WLOG for player 1).
+TranscriptOutput = Callable[[Sequence[int]], Any]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-round flip probabilities of a correlated noisy beeping channel.
+
+    Attributes:
+        up: Pr[receive 1 | OR = 0]  (a 0→1 flip).
+        down: Pr[receive 0 | OR = 1]  (a 1→0 flip).
+    """
+
+    up: float
+    down: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.up < 1.0 and 0.0 <= self.down < 1.0):
+            raise ConfigurationError(
+                f"flip probabilities must be in [0, 1): {self}"
+            )
+
+    @classmethod
+    def one_sided(cls, epsilon: float) -> "NoiseModel":
+        """The lower bound's model: noise flips 0→1 only."""
+        return cls(up=epsilon, down=0.0)
+
+    @classmethod
+    def two_sided(cls, epsilon: float) -> "NoiseModel":
+        """The symmetric ε-noisy model of Theorem 1.1."""
+        return cls(up=epsilon, down=epsilon)
+
+    @classmethod
+    def suppression(cls, epsilon: float) -> "NoiseModel":
+        """The mirror model: noise flips 1→0 only."""
+        return cls(up=0.0, down=epsilon)
+
+    def round_probability(self, or_value: int, received: int) -> float:
+        """Pr[π_m = received | OR of the round = or_value]."""
+        if or_value == 1:
+            return self.down if received == 0 else 1.0 - self.down
+        return self.up if received == 1 else 1.0 - self.up
+
+
+@dataclass
+class RoundPartition:
+    """The disjoint round classes of Theorem C.2 for a fixed ``(x, π)``.
+
+    Attributes:
+        zeros: ``A_0`` — rounds with ``π_m = 0``.
+        phantom_ones: ``A'_0`` — rounds with ``π_m = 1`` but nobody beeped
+            (the 1 was created by noise).
+        lonely: ``A_i`` — for each party ``i``, the rounds in which ``i`` was
+            the *only* beeper.
+        crowded: ``A_{n+1}`` — the rest (two or more beepers).
+    """
+
+    zeros: list[int] = field(default_factory=list)
+    phantom_ones: list[int] = field(default_factory=list)
+    lonely: dict[int, list[int]] = field(default_factory=dict)
+    crowded: list[int] = field(default_factory=list)
+
+    def lonely_count(self, party: int) -> int:
+        """|A_i| for one party."""
+        return len(self.lonely.get(party, []))
+
+
+class FormalProtocol(Protocol):
+    """A deterministic protocol as a ``(T, {f_m^i}, {g^i})`` tuple.
+
+    Args:
+        n_parties: Number of parties ``n``.
+        length: Number of rounds ``T``.
+        input_spaces: Per-party input domains (sequences of admissible input
+            values), used by the exact enumeration helpers.
+        broadcast: Shared broadcast function ``f(i, x_i, prefix) -> bit``.
+        output: Output determined by the transcript alone
+            (``g(π) -> value``), matching the paper's WLOG normalisation of
+            player 1's output.  All parties use it.
+    """
+
+    def __init__(
+        self,
+        n_parties: int,
+        length: int,
+        input_spaces: Sequence[Sequence[Any]],
+        broadcast: SharedBroadcast,
+        output: TranscriptOutput,
+    ) -> None:
+        super().__init__(n_parties)
+        if length < 0:
+            raise ConfigurationError(f"length must be >= 0, got {length}")
+        if len(input_spaces) != n_parties:
+            raise ConfigurationError(
+                f"need {n_parties} input spaces, got {len(input_spaces)}"
+            )
+        for index, space in enumerate(input_spaces):
+            if len(space) == 0:
+                raise ConfigurationError(
+                    f"input space of party {index} is empty"
+                )
+        self._length = length
+        self.input_spaces = [tuple(space) for space in input_spaces]
+        self.broadcast = broadcast
+        self.output = output
+
+    # ------------------------------------------------------------------
+    # Executable interface (engine compatibility)
+    # ------------------------------------------------------------------
+
+    def length(self) -> int:
+        return self._length
+
+    def create_parties(
+        self, inputs: Sequence[Any], shared_seed: int | None = None
+    ) -> list[Party]:
+        self._check_inputs(inputs)
+        parties: list[Party] = []
+        for index in range(self.n_parties):
+
+            def bound_broadcast(
+                x: Any, prefix: Sequence[int], _i: int = index
+            ) -> int:
+                return self.broadcast(_i, x, prefix)
+
+            def bound_output(x: Any, received: Sequence[int]) -> Any:
+                return self.output(received)
+
+            parties.append(
+                FunctionalParty(
+                    input_value=inputs[index],
+                    length=self._length,
+                    broadcast=bound_broadcast,
+                    output=bound_output,
+                )
+            )
+        return parties
+
+    # ------------------------------------------------------------------
+    # Exact analysis
+    # ------------------------------------------------------------------
+
+    def beeps(self, x: Sequence[Any], pi: Sequence[int]) -> list[BitWord]:
+        """The matrix of beeped bits for input ``x`` along transcript ``pi``.
+
+        Entry ``[m][i]`` is ``f_{m+1}^i(x^i, π_{<m+1})``.  ``pi`` may be any
+        candidate transcript of length ``length()``; it need not have
+        positive probability under any noise model.
+        """
+        self._check_inputs(x)
+        if len(pi) != self._length:
+            raise ProtocolError(
+                f"transcript length {len(pi)} != protocol length "
+                f"{self._length}"
+            )
+        rows: list[BitWord] = []
+        for m in range(self._length):
+            prefix = pi[:m]
+            rows.append(
+                tuple(
+                    self.broadcast(i, x[i], prefix)
+                    for i in range(self.n_parties)
+                )
+            )
+        return rows
+
+    def beep_set(
+        self, x: Sequence[Any], pi: Sequence[int], round_index: int
+    ) -> frozenset[int]:
+        """``B_m(x, π)``: the set of parties beeping 1 in round ``m``."""
+        prefix = pi[:round_index]
+        return frozenset(
+            i
+            for i in range(self.n_parties)
+            if self.broadcast(i, x[i], prefix) == 1
+        )
+
+    def round_partition(
+        self, x: Sequence[Any], pi: Sequence[int]
+    ) -> RoundPartition:
+        """Partition the rounds into ``A_0, A'_0, A_i, A_{n+1}`` (§C.3.1)."""
+        partition = RoundPartition()
+        beep_rows = self.beeps(x, pi)
+        for m in range(self._length):
+            beepers = [i for i, bit in enumerate(beep_rows[m]) if bit == 1]
+            if pi[m] == 0:
+                partition.zeros.append(m)
+            elif not beepers:
+                partition.phantom_ones.append(m)
+            elif len(beepers) == 1:
+                partition.lonely.setdefault(beepers[0], []).append(m)
+            else:
+                partition.crowded.append(m)
+        return partition
+
+    def transcript_probability(
+        self, x: Sequence[Any], pi: Sequence[int], noise: NoiseModel
+    ) -> float:
+        """Exact ``Pr(Π = π | X = x)`` under correlated noise ``noise``.
+
+        The chain rule of §C.3.1: each round contributes
+        ``Pr(π_m | OR of the beeps at round m)`` independently.
+        """
+        beep_rows = self.beeps(x, pi)
+        probability = 1.0
+        for m in range(self._length):
+            or_value = 1 if any(beep_rows[m]) else 0
+            probability *= noise.round_probability(or_value, pi[m])
+            if probability == 0.0:
+                return 0.0
+        return probability
+
+    def enumerate_transcripts(
+        self, x: Sequence[Any], noise: NoiseModel
+    ) -> Iterator[tuple[BitWord, float]]:
+        """Yield every transcript with ``Pr(π | x) > 0`` and its probability.
+
+        Walks the binary transcript tree depth-first, pruning zero
+        probability branches (e.g. under one-sided noise a round with a
+        beeper can only produce 1, halving the tree at that node).
+        """
+        self._check_inputs(x)
+
+        def extend(
+            prefix: list[int], probability: float
+        ) -> Iterator[tuple[BitWord, float]]:
+            m = len(prefix)
+            if m == self._length:
+                yield tuple(prefix), probability
+                return
+            beep_or = (
+                1
+                if any(
+                    self.broadcast(i, x[i], prefix) == 1
+                    for i in range(self.n_parties)
+                )
+                else 0
+            )
+            for received in (0, 1):
+                round_probability = noise.round_probability(
+                    beep_or, received
+                )
+                if round_probability == 0.0:
+                    continue
+                prefix.append(received)
+                yield from extend(prefix, probability * round_probability)
+                prefix.pop()
+
+        yield from extend([], 1.0)
+
+    def enumerate_inputs(self) -> Iterator[tuple[Any, ...]]:
+        """Every input vector in the product of the input spaces."""
+        yield from itertools.product(*self.input_spaces)
+
+    def input_probability(self) -> float:
+        """Probability of each input vector under the uniform distribution."""
+        total = 1
+        for space in self.input_spaces:
+            total *= len(space)
+        return 1.0 / total
+
+
+def formalize_protocol(
+    protocol: Protocol,
+    input_spaces: Sequence[Sequence[Any]],
+    output: TranscriptOutput | None = None,
+) -> FormalProtocol:
+    """Lift any fixed-length executable protocol into a
+    :class:`FormalProtocol`.
+
+    The broadcast functions are recovered *operationally*: to evaluate
+    ``f_m^i(x, π_{<m})`` a fresh party is created with input ``x`` and
+    replayed over the prefix, and its next beep is read off.  This costs
+    O(m) per query — perfectly fine for the small instances the exact
+    lower-bound machinery enumerates — and works for every deterministic
+    protocol, not just those written as explicit function tables.
+
+    Args:
+        protocol: The protocol to lift; ``protocol.length()`` must be
+            known, and the protocol must be deterministic (no shared
+            seed is passed during replay).
+        input_spaces: Admissible inputs per party (the lift cannot infer
+            them from the executable form).
+        output: Transcript-determined output ``g(π)``; when ``None``,
+            the lifted output is party 0's output computed by replaying
+            its coroutine over the transcript **with input
+            ``input_spaces[0][0]``** — only correct when party 0's output
+            genuinely depends on the transcript alone (e.g. after the
+            :func:`~repro.core.compose.announce_input` normalisation, or
+            for tasks like ``InputSet``/parity whose outputs read the
+            transcript).  Pass an explicit ``output`` otherwise.
+    """
+    length = protocol.length()
+    if length is None:
+        raise ConfigurationError(
+            "formalize_protocol needs a fixed-length protocol"
+        )
+    n_parties = protocol.n_parties
+    if len(input_spaces) != n_parties:
+        raise ConfigurationError(
+            f"need {n_parties} input spaces, got {len(input_spaces)}"
+        )
+    spaces = [tuple(space) for space in input_spaces]
+
+    def replay_next_beep(
+        party_index: int, input_value: Any, prefix: Sequence[int]
+    ) -> int:
+        inputs = [space[0] for space in spaces]
+        inputs[party_index] = input_value
+        party = protocol.create_parties(inputs)[party_index]
+        program = party.run()
+        try:
+            bit = next(program)
+            for received in prefix:
+                bit = program.send(received)
+        except StopIteration:
+            raise ProtocolError(
+                "protocol ended before its declared length during "
+                "formal replay"
+            ) from None
+        return bit
+
+    def replay_output(pi: Sequence[int]) -> Any:
+        inputs = [space[0] for space in spaces]
+        party = protocol.create_parties(inputs)[0]
+        program = party.run()
+        try:
+            next(program)
+            for received in pi:
+                program.send(received)
+        except StopIteration as stop:
+            return stop.value
+        raise ProtocolError(
+            "protocol did not finish at its declared length during "
+            "formal replay"
+        )
+
+    return FormalProtocol(
+        n_parties=n_parties,
+        length=length,
+        input_spaces=spaces,
+        broadcast=replay_next_beep,
+        output=output if output is not None else replay_output,
+    )

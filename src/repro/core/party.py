@@ -1,0 +1,90 @@
+"""Party abstractions.
+
+A :class:`Party` is one participant of a beeping protocol.  Its behaviour is
+a generator returned by :meth:`Party.run`:
+
+* the generator **yields** the bit the party beeps this round;
+* the engine **sends** back the bit the party received from the channel;
+* the generator **returns** (via ``StopIteration``) the party's final output.
+
+This coroutine style lets complex multi-phase protocols be written as
+ordinary sequential code.  Example::
+
+    class EchoParty(Party):
+        def __init__(self, bit):
+            self.bit = bit
+
+        def run(self):
+            received = yield self.bit     # beep my bit, hear the OR
+            return received               # output what I heard
+
+For protocols given in the paper's functional form (a broadcast function per
+round plus an output function), :class:`FunctionalParty` adapts the
+``(T, f, g)`` formalism to the coroutine interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Generator, Sequence
+
+__all__ = ["Party", "FunctionalParty", "PartyProgram"]
+
+# The coroutine type of a party: yields beeped bits, receives channel bits,
+# returns the party's output.
+PartyProgram = Generator[int, int, Any]
+
+# f_m^i in the paper: (input, received prefix) -> bit to beep in round m.
+BroadcastFunction = Callable[[Any, Sequence[int]], int]
+# g^i in the paper: (input, full received transcript) -> output.
+OutputFunction = Callable[[Any, Sequence[int]], Any]
+
+
+class Party(ABC):
+    """One participant in a beeping protocol.
+
+    Subclasses implement :meth:`run`.  A party instance is single-use: the
+    engine calls ``run`` exactly once per execution.  Simulators that need to
+    re-run a party from scratch (rewind-if-error) re-create it through its
+    protocol's factory.
+    """
+
+    @abstractmethod
+    def run(self) -> PartyProgram:
+        """The party's program; see the module docstring for the calling
+        convention."""
+
+
+class FunctionalParty(Party):
+    """A party defined by the paper's ``(T, {f_m}, g)`` formalism.
+
+    Args:
+        input_value: The party's input ``x^i``.
+        length: Number of rounds ``T``.
+        broadcast: ``f(input, received_prefix) -> bit``; called once per
+            round with the received bits of all *previous* rounds (so in
+            round ``m`` the prefix has length ``m - 1``, matching
+            ``f_m^i : X^i × {0,1}^{m-1} → {0,1}``).
+        output: ``g(input, received) -> output``; called after the last
+            round with the party's full received transcript.
+    """
+
+    def __init__(
+        self,
+        input_value: Any,
+        length: int,
+        broadcast: BroadcastFunction,
+        output: OutputFunction,
+    ) -> None:
+        self.input_value = input_value
+        self.length = length
+        self.broadcast = broadcast
+        self.output = output
+
+    def run(self) -> PartyProgram:
+        received: list[int] = []
+        for _ in range(self.length):
+            bit = self.broadcast(self.input_value, received)
+            heard = yield bit
+            received.append(heard)
+        return self.output(self.input_value, received)

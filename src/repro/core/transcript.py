@@ -1,0 +1,168 @@
+"""Transcripts: the round-by-round record of an execution.
+
+A :class:`Transcript` stores one :class:`RoundRecord` per round.  Under
+correlated noise all parties share one view, retrievable with
+:meth:`Transcript.common_view`; under independent noise each party has its
+own view, retrievable with :meth:`Transcript.view`.
+
+Transcripts also retain the *sent* bits, which executions under test use to
+verify simulator bookkeeping (e.g. that an owner computed by Algorithm 1
+really beeped 1 in the round it owns).  Recording of sent bits can be turned
+off for long benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TranscriptError
+from repro.util.bits import BitWord
+
+__all__ = ["RoundRecord", "Transcript"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One channel round.
+
+    Attributes:
+        sent: The bits beeped by the parties (``None`` when not recorded).
+        or_value: The true OR of the sent bits.
+        received: Per-party received bits.
+    """
+
+    sent: BitWord | None
+    or_value: int
+    received: BitWord
+
+    @property
+    def common(self) -> int:
+        """The shared received bit; raises when views diverge."""
+        first = self.received[0]
+        for bit in self.received:
+            if bit != first:
+                raise TranscriptError(
+                    "received bits diverge across parties; no common view"
+                )
+        return first
+
+    @property
+    def noisy(self) -> bool:
+        """True when any party's reception differs from the true OR."""
+        return any(bit != self.or_value for bit in self.received)
+
+
+class Transcript:
+    """An append-only sequence of :class:`RoundRecord`.
+
+    Supports ``len``, indexing and iteration over records.
+    """
+
+    def __init__(self, n_parties: int) -> None:
+        if n_parties < 1:
+            raise TranscriptError("a transcript needs at least one party")
+        self.n_parties = n_parties
+        self._records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        """Append one round, validating arity."""
+        if len(record.received) != self.n_parties:
+            raise TranscriptError(
+                f"record has {len(record.received)} received bits, "
+                f"expected {self.n_parties}"
+            )
+        if record.sent is not None and len(record.sent) != self.n_parties:
+            raise TranscriptError(
+                f"record has {len(record.sent)} sent bits, "
+                f"expected {self.n_parties}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self._records)
+
+    def common_view(self) -> BitWord:
+        """The shared received transcript (correlated channels only)."""
+        return tuple(record.common for record in self._records)
+
+    def view(self, party_index: int) -> BitWord:
+        """The received transcript as seen by one party."""
+        if not 0 <= party_index < self.n_parties:
+            raise TranscriptError(
+                f"party index {party_index} out of range "
+                f"[0, {self.n_parties})"
+            )
+        return tuple(
+            record.received[party_index] for record in self._records
+        )
+
+    def or_values(self) -> BitWord:
+        """The true (pre-noise) OR of every round."""
+        return tuple(record.or_value for record in self._records)
+
+    def sent_bits(self, party_index: int) -> BitWord:
+        """The bits beeped by one party (requires sent recording)."""
+        bits: list[int] = []
+        for record in self._records:
+            if record.sent is None:
+                raise TranscriptError(
+                    "sent bits were not recorded for this transcript"
+                )
+            bits.append(record.sent[party_index])
+        return tuple(bits)
+
+    def noise_positions(self) -> tuple[int, ...]:
+        """Indices of rounds affected by noise."""
+        return tuple(
+            index
+            for index, record in enumerate(self._records)
+            if record.noisy
+        )
+
+    def render(self, max_rounds: int = 64) -> str:
+        """An ASCII timeline of the execution (debugging aid).
+
+        One row per party showing its beeps (``#`` = beeped, ``.`` =
+        silent; requires sent recording), then the true OR row and the
+        received row, with ``!`` marking noisy rounds.  Long transcripts
+        are truncated to ``max_rounds`` with an ellipsis note.
+
+        Example output for three parties over four rounds::
+
+            party 0 |#..#|
+            party 1 |.#..|
+            OR      |##.#|
+            heard   |#..#|  (! = noise)
+            noise   |.! ..|
+        """
+        records = self._records[:max_rounds]
+        lines: list[str] = []
+        if records and records[0].sent is not None:
+            for party in range(self.n_parties):
+                beeps = "".join(
+                    "#" if record.sent[party] else "."
+                    for record in records
+                )
+                lines.append(f"party {party:<2}|{beeps}|")
+        or_row = "".join(
+            "#" if record.or_value else "." for record in records
+        )
+        lines.append(f"OR      |{or_row}|")
+        heard = "".join(
+            "#" if record.received[0] else "." for record in records
+        )
+        lines.append(f"heard   |{heard}|")
+        noise = "".join("!" if record.noisy else " " for record in records)
+        lines.append(f"noise   |{noise}|")
+        if len(self._records) > max_rounds:
+            lines.append(
+                f"... ({len(self._records) - max_rounds} more rounds)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+protocol failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "ProtocolDesyncError",
+    "TranscriptError",
+    "ChannelError",
+    "CodingError",
+    "DecodingError",
+    "SimulationError",
+    "SimulationBudgetExceeded",
+    "TaskError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter is outside its legal range or inconsistent with others.
+
+    Raised eagerly at construction time (channels with ``epsilon`` outside
+    ``[0, 1]``, codes with non-positive length, simulators with zero chunk
+    size, ...) so that misconfiguration fails fast rather than corrupting an
+    execution.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated the runtime contract."""
+
+
+class ProtocolDesyncError(ProtocolError):
+    """Parties fell out of lock-step.
+
+    The beeping model is synchronous: in every round *every* party beeps a
+    bit.  The engine raises this error when one party's coroutine finishes
+    while another still wants to communicate, which indicates a bug in the
+    protocol implementation (parties must agree on the round count).
+    """
+
+
+class TranscriptError(ReproError):
+    """A transcript was indexed or combined inconsistently."""
+
+
+class ChannelError(ReproError):
+    """A channel received malformed input (wrong arity, non-bit values)."""
+
+
+class CodingError(ReproError):
+    """Base class for encoding/decoding errors."""
+
+
+class DecodingError(CodingError):
+    """A received word could not be decoded (wrong length, empty codebook)."""
+
+
+class SimulationError(ReproError):
+    """A noise-resilient simulation failed to produce a usable transcript."""
+
+
+class SimulationBudgetExceeded(SimulationError):
+    """The simulator ran out of its round budget before committing everything.
+
+    The rewind-if-error schemes allocate a fixed number of chunk attempts.
+    Under extreme noise the budget can be exhausted; this error carries the
+    committed prefix length so callers can inspect partial progress.
+    """
+
+    def __init__(self, message: str, committed_rounds: int = 0) -> None:
+        super().__init__(message)
+        self.committed_rounds = committed_rounds
+
+
+class TaskError(ReproError):
+    """A task was given inputs outside its domain."""

@@ -1,0 +1,84 @@
+"""The experiment suite E1–E13, as importable functions.
+
+Each module ``eNN_*`` exposes ``run(seed=0, scale=1.0) ->
+ExperimentResult``: the measurement sweep, its rendered table, and the
+paper-predicted shape checks.  ``scale`` multiplies trial counts (use
+< 1.0 for quick looks, > 1.0 for tighter confidence intervals) — 1.0 is
+the published configuration recorded in EXPERIMENTS.md.
+
+Consumers:
+
+* the pytest-benchmark harness (``benchmarks/bench_*.py``) runs each
+  experiment once, persists its table under ``benchmarks/results/``, and
+  asserts every check;
+* the CLI (``python -m repro run-experiment E1``) runs one on demand;
+* library users import :data:`REGISTRY` and call ``run`` directly.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    e01_overhead,
+    e02_budget,
+    e03_asymmetry,
+    e04_owners,
+    e05_zeta,
+    e06_good_players,
+    e07_noise_models,
+    e08_long_protocols,
+    e09_hierarchy,
+    e10_bursts,
+    e11_energy,
+    e12_adversary,
+    e13_independence,
+)
+from repro.experiments.base import Check, ExperimentResult
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "REGISTRY",
+    "get_experiment",
+    "run_experiment",
+]
+
+_MODULES: tuple[ModuleType, ...] = (
+    e01_overhead,
+    e02_budget,
+    e03_asymmetry,
+    e04_owners,
+    e05_zeta,
+    e06_good_players,
+    e07_noise_models,
+    e08_long_protocols,
+    e09_hierarchy,
+    e10_bursts,
+    e11_energy,
+    e12_adversary,
+    e13_independence,
+)
+
+REGISTRY: dict[str, ModuleType] = {
+    module.ID: module for module in _MODULES
+}
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """The experiment module for ``experiment_id`` (case-insensitive)."""
+    key = experiment_id.upper().strip()
+    if key not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY, key=lambda e: int(e[1:])))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    return REGISTRY[key]
+
+
+def run_experiment(
+    experiment_id: str, seed: int = 0, scale: float = 1.0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id).run(seed=seed, scale=scale)

@@ -1,0 +1,83 @@
+"""Experiment infrastructure: typed results with named shape checks.
+
+Every experiment Ek is a function ``run(seed=..., scale=...) ->
+ExperimentResult``.  The result carries the rendered table (what
+EXPERIMENTS.md quotes), the raw data series, and a list of named *checks*
+— the paper-predicted shape assertions.  The pytest-benchmark harness and
+the CLI both consume this one object: the harness asserts
+``result.all_passed``, the CLI prints the table and the check verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Check", "ExperimentResult", "validate_scale"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape assertion with a human-readable description."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run.
+
+    Attributes:
+        experiment_id: "E1" .. "E13".
+        title: One-line claim under test.
+        table: The rendered result table(s).
+        data: Raw series keyed by name (JSON-serialisable).
+        checks: Shape assertions with verdicts.
+    """
+
+    experiment_id: str
+    title: str
+    table: str
+    data: dict[str, Any] = field(default_factory=dict)
+    checks: list[Check] = field(default_factory=list)
+
+    def check(self, description: str, passed: bool) -> None:
+        """Record one named shape check."""
+        self.checks.append(Check(description, bool(passed)))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[Check]:
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        """Table plus per-check verdicts (the CLI's output)."""
+        lines = [self.table, ""]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.description}")
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        """Raise when any check failed (benchmark-harness hook)."""
+        if not self.all_passed:
+            failed = "; ".join(
+                check.description for check in self.failures
+            )
+            raise AssertionError(
+                f"{self.experiment_id} shape checks failed: {failed}"
+            )
+
+
+def validate_scale(scale: float) -> float:
+    """Shared validation for experiments' ``scale`` knob (trial
+    multiplier; 1.0 = the published configuration)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return scale

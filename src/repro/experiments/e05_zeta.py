@@ -1,0 +1,142 @@
+"""E5 — Theorems C.2 + C.3: the ζ squeeze — exact at n ≤ 3, Monte-Carlo
+pointwise beyond."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.formal import NoiseModel
+from repro.experiments.base import ExperimentResult, validate_scale
+from repro.lowerbound import LowerBoundAnalyzer, estimate_zeta, theory
+from repro.tasks.input_set import input_set_formal_protocol
+
+ID = "E5"
+TITLE = "Theorems C.2+C.3: the exact zeta squeeze"
+
+NOISE = NoiseModel.one_sided(1.0 / 3.0)
+INSTANCES = [(2, 1), (2, 2), (2, 3), (3, 1)]  # (n, repetitions)
+MC_NS = (4, 8, 12)
+MC_SAMPLES = 250
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    validate_scale(scale)
+    samples = max(50, round(MC_SAMPLES * scale))
+
+    rows = []
+    caps_hold = []
+    correctness = {}
+    masses = []
+    for n, repetitions in INSTANCES:
+        protocol = input_set_formal_protocol(
+            n, repetitions=repetitions, decision="unanimous"
+        )
+        analyzer = LowerBoundAnalyzer(protocol, NOISE)
+        summary = analyzer.summary(reference=lambda x: frozenset(x))
+        rounds = protocol.length()
+        cap = theory.c2_zeta_bound(n, rounds)
+        caps_hold.append(summary.max_zeta_in_good <= cap * (1 + 1e-9))
+        correctness[(n, repetitions)] = summary.correctness_probability
+        masses.append(summary.total_mass)
+        rows.append(
+            [
+                n,
+                repetitions,
+                rounds,
+                f"{summary.correctness_probability:.3f}",
+                f"{summary.good_event_probability:.3f}",
+                f"{summary.expected_zeta_given_good:.3f}",
+                f"{summary.max_zeta_in_good:.3f}",
+                f"{cap:.3g}",
+                f"{summary.total_mass:.4f}",
+            ]
+        )
+    table = format_table(
+        [
+            "n",
+            "reps",
+            "T",
+            "Pr[correct]",
+            "Pr(G)",
+            "E[zeta|G]",
+            "max zeta on G",
+            "C.2 cap",
+            "mass",
+        ],
+        rows,
+        title="E5a  exact zeta squeeze, one-sided epsilon=1/3",
+    )
+
+    mc_rows = []
+    mc_violations = []
+    for n in MC_NS:
+        protocol = input_set_formal_protocol(n)
+        cap = theory.c2_zeta_bound(n, protocol.length())
+        summary = estimate_zeta(
+            protocol,
+            1.0 / 3.0,
+            samples=samples,
+            seed=seed + 17 * n,
+            c2_cap=cap,
+        )
+        mc_violations.append(summary.c2_violations)
+        mc_rows.append(
+            [
+                n,
+                protocol.length(),
+                f"{summary.good_event_rate:.2f}",
+                f"{summary.mean_zeta_given_good:.3f}",
+                f"{summary.max_zeta_in_good:.3f}",
+                f"{cap:.3g}",
+                summary.c2_violations,
+            ]
+        )
+    table += "\n\n" + format_table(
+        [
+            "n",
+            "T",
+            "Pr(G) est",
+            "E[zeta|G] est",
+            "max zeta seen",
+            "C.2 cap",
+            "violations",
+        ],
+        mc_rows,
+        title=(
+            f"E5b  Monte-Carlo C.2 check ({samples} sampled "
+            "(x,pi) pairs/point)"
+        ),
+    )
+
+    result = ExperimentResult(
+        experiment_id=ID,
+        title=TITLE,
+        table=table,
+        data={
+            "instances": [list(instance) for instance in INSTANCES],
+            "correctness": {
+                f"{n}x{r}": value
+                for (n, r), value in correctness.items()
+            },
+            "mc_violations": mc_violations,
+        },
+    )
+    result.check(
+        "C.2 cap holds pointwise on every exact instance", all(caps_hold)
+    )
+    result.check(
+        "C.2 cap holds on every Monte-Carlo sample",
+        all(count == 0 for count in mc_violations),
+    )
+    result.check(
+        "correctness monotone in the round budget (n=2 family)",
+        correctness[(2, 1)] < correctness[(2, 2)] < correctness[(2, 3)],
+    )
+    result.check(
+        "unprotected protocol below C.3's 2/3 precondition",
+        correctness[(2, 1)] < 2 / 3 and correctness[(3, 1)] < 2 / 3,
+    )
+    result.check(
+        "exact enumeration conserves probability mass",
+        all(abs(mass - 1.0) < 1e-6 for mass in masses),
+    )
+    return result

@@ -1,0 +1,124 @@
+"""Entropy accounting (Appendix B.2, Observation C.4, Lemma C.5).
+
+The lower bound needs the feasible sets ``S^i(π)`` to stay large for most
+parties, and gets it from an information argument: a short transcript cannot
+carry much information about the Θ(n log n) bits of input entropy.  This
+module computes the exact posterior quantities on enumerable instances:
+
+* ``H(X | π)`` and ``H(X^i | π)`` for a concrete transcript;
+* the transcript distribution and the mutual information ``I(X ; Π)``;
+* the Observation C.4 comparison ``H(X | π) ≤ Σ_i log |S^i(π)|`` (valid
+  under one-sided noise, where the support of ``X^i | π`` is contained in
+  ``S^i(π)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Sequence
+
+from repro.core.formal import FormalProtocol, NoiseModel
+from repro.errors import ConfigurationError
+from repro.lowerbound.feasible import feasible_sizes
+from repro.util.bits import BitWord
+
+__all__ = [
+    "entropy",
+    "posterior_input_distribution",
+    "posterior_input_entropy",
+    "transcript_distribution",
+    "mutual_information",
+    "c4_feasible_entropy_bound",
+]
+
+
+def entropy(distribution: Dict[Any, float]) -> float:
+    """Shannon entropy (base 2) of a finite distribution.
+
+    Zero-probability entries are ignored; the distribution is assumed
+    normalised (callers in this module construct it that way).
+    """
+    total = 0.0
+    for probability in distribution.values():
+        if probability > 0.0:
+            total -= probability * math.log2(probability)
+    return total
+
+
+def transcript_distribution(
+    protocol: FormalProtocol, noise: NoiseModel
+) -> Dict[BitWord, float]:
+    """``Pr(Π = π)`` for every positive-probability transcript."""
+    distribution: Dict[BitWord, float] = {}
+    input_probability = protocol.input_probability()
+    for inputs in protocol.enumerate_inputs():
+        for pi, conditional in protocol.enumerate_transcripts(inputs, noise):
+            if conditional == 0.0:
+                continue
+            distribution[pi] = (
+                distribution.get(pi, 0.0) + input_probability * conditional
+            )
+    return distribution
+
+
+def posterior_input_distribution(
+    protocol: FormalProtocol, noise: NoiseModel, pi: Sequence[int]
+) -> Dict[tuple[Any, ...], float]:
+    """``Pr(X = x | Π = π)`` over all input vectors."""
+    pi = tuple(pi)
+    joint: Dict[tuple[Any, ...], float] = {}
+    input_probability = protocol.input_probability()
+    for inputs in protocol.enumerate_inputs():
+        conditional = protocol.transcript_probability(inputs, pi, noise)
+        if conditional > 0.0:
+            joint[tuple(inputs)] = input_probability * conditional
+    mass = sum(joint.values())
+    if mass == 0.0:
+        raise ConfigurationError(
+            "transcript has probability zero under this protocol and noise"
+        )
+    return {inputs: probability / mass for inputs, probability in joint.items()}
+
+
+def posterior_input_entropy(
+    protocol: FormalProtocol, noise: NoiseModel, pi: Sequence[int]
+) -> float:
+    """``H(X | Π = π)`` in bits."""
+    return entropy(posterior_input_distribution(protocol, noise, pi))
+
+
+def mutual_information(
+    protocol: FormalProtocol, noise: NoiseModel
+) -> float:
+    """``I(X ; Π) = H(X) − E_π[H(X | π)]`` in bits.
+
+    Fact B.4/B.5 give ``I(X ; Π) ≤ H(Π) ≤ T`` — the step that starts
+    Lemma C.5 — and this function lets tests verify the chain exactly.
+    """
+    prior_entropy = sum(
+        math.log2(len(space)) for space in protocol.input_spaces
+    )
+    pi_distribution = transcript_distribution(protocol, noise)
+    conditional = 0.0
+    for pi, probability in pi_distribution.items():
+        conditional += probability * posterior_input_entropy(
+            protocol, noise, pi
+        )
+    return prior_entropy - conditional
+
+
+def c4_feasible_entropy_bound(
+    protocol: FormalProtocol, pi: Sequence[int]
+) -> float:
+    """Observation C.4's right side: ``Σ_i log₂ |S^i(π)|``.
+
+    Under one-sided noise ``H(X | π)`` never exceeds this (the support of
+    each ``X^i | π`` lies inside ``S^i(π)``); tests pair it with
+    :func:`posterior_input_entropy` to verify the observation pointwise.
+    """
+    total = 0.0
+    for size in feasible_sizes(protocol, pi):
+        if size <= 0:
+            return float("-inf")
+        total += math.log2(size)
+    return total

@@ -1,0 +1,88 @@
+"""Neighbor sets and the sensitivity of ``L(x)`` (§2.3).
+
+Two input vectors are *neighbors* when they differ in at most one party's
+input.  The lower bound's engine is the observation that ``L`` is highly
+sensitive: for a constant fraction of uniform inputs, Θ(n) parties hold
+unique values, and perturbing any of them changes ``L(x)`` — giving
+``|N(x)| = Θ(n²)`` differing neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "neighbor_inputs",
+    "neighbors_of_player",
+    "differing_neighbors",
+    "sensitivity_profile",
+]
+
+
+def _input_set(inputs: Sequence[int]) -> frozenset[int]:
+    return frozenset(inputs)
+
+
+def neighbors_of_player(
+    inputs: Sequence[int], player: int, universe: Iterable[int]
+) -> Iterator[tuple[int, ...]]:
+    """All ``x^{i=y}`` for ``y ≠ x^i``: neighbors changing ``player``'s input.
+
+    This is the paper's ``x^{i=y}`` notation restricted to actual changes
+    (``y = x^i`` would give ``x`` itself, which is not a neighbor).
+    """
+    if not 0 <= player < len(inputs):
+        raise ConfigurationError(
+            f"player {player} out of range [0, {len(inputs)})"
+        )
+    current = inputs[player]
+    base = tuple(inputs)
+    for value in universe:
+        if value == current:
+            continue
+        yield base[:player] + (value,) + base[player + 1 :]
+
+
+def neighbor_inputs(
+    inputs: Sequence[int], universe: Iterable[int]
+) -> Iterator[tuple[int, ...]]:
+    """All neighbors of ``x`` (inputs differing in exactly one coordinate)."""
+    universe = tuple(universe)
+    for player in range(len(inputs)):
+        yield from neighbors_of_player(inputs, player, universe)
+
+
+def differing_neighbors(
+    inputs: Sequence[int], universe: Iterable[int]
+) -> list[tuple[int, ...]]:
+    """``N(x)``: neighbors ``x'`` with ``L(x') ≠ L(x)``."""
+    reference = _input_set(inputs)
+    return [
+        neighbor
+        for neighbor in neighbor_inputs(inputs, universe)
+        if _input_set(neighbor) != reference
+    ]
+
+
+def sensitivity_profile(
+    inputs: Sequence[int], universe: Iterable[int]
+) -> dict[int, int]:
+    """Per-player count ``|N^i(x)|`` of output-changing neighbors.
+
+    §2.3's claim, checkable instance by instance: a player ``i`` holding a
+    *unique* value has ``|N^i(x)| = |universe| - 1`` when every change
+    breaks ``L`` — in general the count interpolates between 0 (fully
+    shadowed input) and ``|universe| - 1``.
+    """
+    universe = tuple(universe)
+    reference = _input_set(inputs)
+    profile: dict[int, int] = {}
+    for player in range(len(inputs)):
+        profile[player] = sum(
+            1
+            for neighbor in neighbors_of_player(inputs, player, universe)
+            if _input_set(neighbor) != reference
+        )
+    return profile

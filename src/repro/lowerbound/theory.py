@@ -1,0 +1,107 @@
+"""Closed-form bounds from the paper, as plain functions.
+
+These are the analytic curves the experiments plot measured values against:
+Theorem C.2's pointwise ζ cap, Theorem C.3's conditional-expectation floor,
+Theorem C.1's round threshold, and the small lemmas (B.7, B.8) the proofs
+lean on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "c2_zeta_bound",
+    "c3_zeta_requirement",
+    "c1_round_threshold",
+    "zeta_crossover_rounds",
+    "upper_bound_rounds",
+    "cauchy_schwarz_ratio_gap",
+    "lemma_b8_probability_bound",
+]
+
+
+def c2_zeta_bound(n_parties: int, rounds: int) -> float:
+    """Theorem C.2: on 𝒢, ``ζ(x, π) ≤ (4/n) · 3^{4T/n}``.
+
+    Derived for ε = 1/3 (each lonely round changes the relative likelihood
+    by a factor of 3); the convexity step spreads the ≤ T lonely rounds over
+    the ≥ n/4 good players.
+    """
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+    return (4.0 / n_parties) * 3.0 ** (4.0 * rounds / n_parties)
+
+
+def c3_zeta_requirement(n_parties: int) -> float:
+    """Theorem C.3: correct protocols have ``E[ζ | 𝒢] ≥ n^{-3/4}``."""
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    return n_parties ** (-0.75)
+
+
+def c1_round_threshold(n_parties: int) -> float:
+    """Theorem C.1's explicit threshold: ``n · log₂(n) / 1000`` rounds.
+
+    Protocols shorter than this cannot solve ``InputSet_n`` with error
+    < 1/4 over the one-sided 1/3-noisy channel (for large n).
+    """
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    return n_parties * math.log2(max(n_parties, 2)) / 1000.0
+
+
+def zeta_crossover_rounds(n_parties: int) -> float:
+    """Rounds T at which the C.2 cap meets the C.3 floor.
+
+    Solving ``(4/n)·3^{4T/n} = n^{-3/4}`` gives
+    ``T = (n/4) · log₃(n^{1/4} / 4)`` — the Θ(n log n) point below which
+    the two theorems contradict each other and no correct protocol can
+    exist.  Negative solutions (tiny n) clamp to 0.
+    """
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    target = n_parties**0.25 / 4.0
+    if target <= 1.0:
+        return 0.0
+    return (n_parties / 4.0) * math.log(target, 3.0)
+
+
+def upper_bound_rounds(
+    n_parties: int, inner_rounds: int, constant: float = 1.0
+) -> float:
+    """Theorem 1.2's budget shape: ``c · T · log₂ n`` rounds."""
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    return constant * inner_rounds * math.log2(max(n_parties, 2))
+
+
+def cauchy_schwarz_ratio_gap(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> float:
+    """Lemma B.7's slack: ``Σ aᵢ²/bᵢ − (Σ aᵢ)² / Σ bᵢ`` (always ≥ 0).
+
+    Exposed so property tests can hammer the inequality with random
+    positive sequences.
+    """
+    if len(numerators) != len(denominators):
+        raise ConfigurationError("sequences must have equal length")
+    if not numerators:
+        raise ConfigurationError("sequences must be non-empty")
+    if any(b <= 0 for b in denominators) or any(a <= 0 for a in numerators):
+        raise ConfigurationError("lemma B.7 needs positive numbers")
+    lhs = sum(numerators) ** 2 / sum(denominators)
+    rhs = sum(a * a / b for a, b in zip(numerators, denominators))
+    return rhs - lhs
+
+
+def lemma_b8_probability_bound(k: int, universe_size: int) -> float:
+    """Lemma B.8: ``Pr[|I| ≤ k/3] ≤ (3/2)(1 − e^{−k/|S|})`` for k < |S|."""
+    if k < 1 or universe_size < 1:
+        raise ConfigurationError("k and universe_size must be >= 1")
+    return 1.5 * (1.0 - math.exp(-k / universe_size))

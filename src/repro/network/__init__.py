@@ -1,0 +1,38 @@
+"""Multi-hop beeping networks — the general model behind the paper's channel.
+
+The paper studies the *single-hop* beeping channel (every party hears
+every other), which is the complete-graph case of the beeping **network**
+model of [CK10] and the MIS/leader-election literature the paper cites
+([AAB⁺13, FSW14, SJX13, ...]): nodes sit on a graph and each round every
+node either beeps or listens, hearing a beep iff some *neighbor* beeped.
+
+This subpackage provides that substrate and one flagship algorithm:
+
+* :class:`NetworkBeepingChannel` — a graph-structured channel compatible
+  with the package's :class:`~repro.channels.base.Channel` interface
+  (per-node views; optional per-node independent noise).  On the complete
+  graph with ``hear_self=True`` it coincides exactly with the single-hop
+  channels.
+* :class:`MISTask` — randomized maximal-independent-set election by beeps
+  (a Luby-style two-round-per-phase protocol in the spirit of [AAB⁺13]),
+  with validity checked against the graph.
+
+The noise-resilient simulators of :mod:`repro.simulation` are single-hop
+constructions (they need the OR-of-everyone channel and, mostly, a shared
+transcript); the network substrate documents where the paper's model sits
+inside the broader ecosystem and what its guarantees do *not* yet cover —
+interactive coding for multi-hop beeping is the open frontier the paper's
+related-work section points at ([CHHZ17, EKS19]).
+"""
+
+from repro.network.channel import NetworkBeepingChannel, ring, grid, complete
+from repro.network.mis import MISTask, mis_protocol
+
+__all__ = [
+    "NetworkBeepingChannel",
+    "ring",
+    "grid",
+    "complete",
+    "MISTask",
+    "mis_protocol",
+]

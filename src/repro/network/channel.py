@@ -1,0 +1,175 @@
+"""The graph-structured beeping channel.
+
+Each round, node ``i`` receives the OR of the bits beeped by its
+*neighbors* (and, with ``hear_self=True``, its own bit).  Per-node
+independent noise (ε per reception, the multi-hop analogue of §1.2's
+independent model) is optional.
+
+The single-hop channels of :mod:`repro.channels` are the complete-graph
+special case: ``NetworkBeepingChannel(complete(n), hear_self=True)`` is
+outcome-identical to :class:`~repro.channels.noiseless.NoiselessChannel`,
+and adding ε gives the independent-noise model (verified by tests).
+
+Graph format: a sequence of neighbor collections, ``adjacency[i]`` being
+the nodes whose beeps node ``i`` hears.  Helpers :func:`ring`,
+:func:`grid` and :func:`complete` build the standard topologies; anything
+producing such adjacency lists (e.g. ``networkx.Graph.adj``) plugs in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.channels.base import Channel
+from repro.errors import ChannelError, ConfigurationError
+from repro.util.bits import BitWord
+
+__all__ = ["NetworkBeepingChannel", "ring", "grid", "complete"]
+
+
+def ring(n_nodes: int) -> list[tuple[int, ...]]:
+    """Cycle topology: node i hears i±1 (mod n)."""
+    if n_nodes < 3:
+        raise ConfigurationError(f"a ring needs >= 3 nodes, got {n_nodes}")
+    return [
+        tuple(sorted(((i - 1) % n_nodes, (i + 1) % n_nodes)))
+        for i in range(n_nodes)
+    ]
+
+
+def grid(rows: int, columns: int) -> list[tuple[int, ...]]:
+    """4-neighbor grid topology, nodes numbered row-major."""
+    if rows < 1 or columns < 1:
+        raise ConfigurationError("grid needs positive dimensions")
+    adjacency: list[tuple[int, ...]] = []
+    for row in range(rows):
+        for column in range(columns):
+            neighbors = []
+            if row > 0:
+                neighbors.append((row - 1) * columns + column)
+            if row < rows - 1:
+                neighbors.append((row + 1) * columns + column)
+            if column > 0:
+                neighbors.append(row * columns + column - 1)
+            if column < columns - 1:
+                neighbors.append(row * columns + column + 1)
+            adjacency.append(tuple(neighbors))
+    return adjacency
+
+
+def complete(n_nodes: int) -> list[tuple[int, ...]]:
+    """Complete topology: everyone hears everyone else."""
+    if n_nodes < 1:
+        raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+    return [
+        tuple(j for j in range(n_nodes) if j != i) for i in range(n_nodes)
+    ]
+
+
+class NetworkBeepingChannel(Channel):
+    """Beeping over a graph, with optional per-node independent noise.
+
+    Args:
+        adjacency: ``adjacency[i]`` = nodes whose beeps node ``i`` hears.
+            Need not be symmetric (directed interference is allowed).
+        epsilon: Per-node reception flip probability (0 = noiseless).
+        hear_self: Whether a beeping node hears its own beep.  The classic
+            beeping-network model says no (a transmitting radio cannot
+            listen); ``True`` recovers the paper's single-hop channel on
+            the complete graph.
+        rng: Noise source.
+
+    Note on :class:`~repro.channels.base.RoundOutcome`: ``or_value`` is
+    the *global* OR while each node's reception reflects its neighborhood,
+    so ``RoundOutcome.noisy`` conflates topology with noise on non-complete
+    graphs — use ``channel.stats`` (which counts genuine noise events
+    against each node's clean neighborhood OR) for noise accounting.
+    """
+
+    correlated = False
+
+    def __init__(
+        self,
+        adjacency: Sequence[Iterable[int]],
+        epsilon: float = 0.0,
+        hear_self: bool = False,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in [0, 1), got {epsilon}"
+            )
+        super().__init__(rng)
+        self.n_nodes = len(adjacency)
+        if self.n_nodes < 1:
+            raise ConfigurationError("the network needs at least one node")
+        self.adjacency: list[tuple[int, ...]] = []
+        for node, neighbors in enumerate(adjacency):
+            cleaned = tuple(sorted(set(int(j) for j in neighbors)))
+            for neighbor in cleaned:
+                if not 0 <= neighbor < self.n_nodes:
+                    raise ConfigurationError(
+                        f"node {node} lists out-of-range neighbor "
+                        f"{neighbor}"
+                    )
+            if node in cleaned:
+                raise ConfigurationError(
+                    f"node {node} lists itself as a neighbor; use "
+                    "hear_self=True instead"
+                )
+            self.adjacency.append(cleaned)
+        self.epsilon = epsilon
+        self.hear_self = hear_self
+
+    def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        raise NotImplementedError  # transmit() is overridden entirely
+
+    def transmit(self, bits: Sequence[int]):
+        from repro.channels.base import RoundOutcome
+        from repro.util.bits import or_reduce, validate_bits
+
+        word = validate_bits(bits)
+        if len(word) != self.n_nodes:
+            raise ChannelError(
+                f"expected {self.n_nodes} bits (one per node), got "
+                f"{len(word)}"
+            )
+        received = []
+        for node in range(self.n_nodes):
+            heard = any(word[j] for j in self.adjacency[node])
+            if self.hear_self and word[node]:
+                heard = True
+            bit = 1 if heard else 0
+            if self.epsilon > 0.0 and self._rng.random() < self.epsilon:
+                bit ^= 1
+            received.append(bit)
+        received_word = tuple(received)
+        or_value = or_reduce(word)
+        # Stats: count per-node receptions that differ from the node's
+        # own noiseless neighborhood OR (noise events only).
+        flips_up = flips_down = 0
+        if self.epsilon > 0.0:
+            for node in range(self.n_nodes):
+                clean = 1 if (
+                    any(word[j] for j in self.adjacency[node])
+                    or (self.hear_self and word[node])
+                ) else 0
+                if received_word[node] != clean:
+                    if clean == 0:
+                        flips_up += 1
+                    else:
+                        flips_down += 1
+        self.stats.record(
+            beeps=sum(word),
+            or_value=or_value,
+            flips_up=flips_up,
+            flips_down=flips_down,
+        )
+        return RoundOutcome(or_value=or_value, received=received_word)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkBeepingChannel(nodes={self.n_nodes}, "
+            f"epsilon={self.epsilon}, hear_self={self.hear_self})"
+        )

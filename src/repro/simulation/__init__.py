@@ -1,0 +1,54 @@
+"""Noise-resilient simulation schemes — the paper's upper bound machinery.
+
+Given a protocol designed for the *noiseless* beeping channel, a simulator
+produces an execution over a *noisy* channel whose outputs match the
+noiseless execution with high probability.  Four schemes are provided:
+
+* :class:`RepetitionSimulator` — footnote 1 of the paper: repeat every round
+  ``r = Θ(log n)`` times and take the majority.  Simple, works over
+  correlated *and* independent noise, and suffices for protocols of length
+  polynomial in n.
+* :class:`ChunkCommitSimulator` — the Theorem 1.2 scheme, iterative form:
+  simulate the protocol in chunks; after each chunk run Algorithm 1's
+  *finding owners* phase so every 1 in the chunk transcript has a party
+  responsible for verifying it; then a verification round-trip decides
+  commit vs. rewind.  O(log n) overhead for poly-length protocols.
+* :class:`HierarchicalSimulator` — the faithful Appendix-D.2 form: chunks
+  are appended optimistically and binary-search progress checks with
+  level-scaled vote reliability truncate bad prefixes — the structure
+  that extends the guarantee to arbitrary lengths.
+* :class:`RewindSimulator` — the constant-overhead scheme the paper's §1.1
+  asserts for *suppression* (1→0-only) noise: simulate one round at a time,
+  alternate with a one-round error vote; under suppression noise every
+  alarm is genuine, so a simple rewind random walk converges with constant
+  overhead.  Running the very same scheme over 0→1 noise fails — the
+  asymmetry measured by experiment E3.
+
+All schemes share the sub-coroutine toolbox in
+:mod:`repro.simulation.primitives` and the parameter bundle in
+:mod:`repro.simulation.params`.
+"""
+
+from repro.simulation.params import SimulationParameters, repetitions_for
+from repro.simulation.base import Simulator, SimulationReport
+from repro.simulation.repetition_sim import RepetitionSimulator
+from repro.simulation.owners import OwnersProtocol, owners_phase, OwnersResult
+from repro.simulation.chunked import ChunkCommitSimulator
+from repro.simulation.hierarchical import HierarchicalSimulator
+from repro.simulation.rewind import RewindSimulator
+from repro.simulation.shared_reduction import OneSidedReductionProtocol
+
+__all__ = [
+    "SimulationParameters",
+    "repetitions_for",
+    "Simulator",
+    "SimulationReport",
+    "RepetitionSimulator",
+    "OwnersProtocol",
+    "OwnersResult",
+    "owners_phase",
+    "ChunkCommitSimulator",
+    "HierarchicalSimulator",
+    "RewindSimulator",
+    "OneSidedReductionProtocol",
+]

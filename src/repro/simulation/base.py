@@ -1,0 +1,192 @@
+"""Simulator interface and shared plumbing.
+
+A :class:`Simulator` takes a protocol written for the noiseless beeping
+channel and executes it over a noisy channel, returning the usual
+:class:`~repro.core.result.ExecutionResult` whose ``metadata`` carries a
+:class:`SimulationReport` (overhead, retries, committed progress).
+
+:func:`infer_noise_model` recovers the per-round flip probabilities of the
+standard channels so simulators can build matched ML decoders without the
+caller repeating the channel's parameters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.channels.burst import BurstNoiseChannel
+from repro.channels.correlated import CorrelatedNoiseChannel
+from repro.channels.independent import IndependentNoiseChannel
+from repro.channels.noiseless import NoiselessChannel
+from repro.channels.one_sided import (
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.channels.reduction import SharedFlipReductionChannel
+from repro.core.formal import NoiseModel
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.errors import ConfigurationError
+from repro.simulation.params import SimulationParameters
+
+__all__ = ["Simulator", "SimulationReport", "infer_noise_model"]
+
+
+def infer_noise_model(channel: Channel) -> NoiseModel:
+    """The per-round flip probabilities of a standard channel.
+
+    Raises :class:`ConfigurationError` for channel types whose noise law is
+    not known here — pass an explicit ``noise_model`` to the simulator in
+    that case.
+    """
+    if isinstance(channel, NoiselessChannel):
+        return NoiseModel(up=0.0, down=0.0)
+    if isinstance(channel, OneSidedNoiseChannel):
+        return NoiseModel.one_sided(channel.epsilon)
+    if isinstance(channel, SuppressionNoiseChannel):
+        return NoiseModel.suppression(channel.epsilon)
+    if isinstance(channel, SharedFlipReductionChannel):
+        down, up = (
+            channel.emulated_epsilon[0],
+            channel.emulated_epsilon[1],
+        )
+        return NoiseModel(up=up, down=down)
+    if isinstance(channel, (CorrelatedNoiseChannel, IndependentNoiseChannel)):
+        return NoiseModel.two_sided(channel.epsilon)
+    if isinstance(channel, BurstNoiseChannel):
+        # The schemes are designed for i.i.d. noise; the stationary flip
+        # rate is the honest i.i.d. approximation of a bursty channel and
+        # what experiment E10 hands them on purpose.
+        return NoiseModel.two_sided(channel.stationary_flip_rate)
+    raise ConfigurationError(
+        f"cannot infer a noise model for {type(channel).__name__}; "
+        "pass noise_model explicitly"
+    )
+
+
+@dataclass
+class SimulationReport:
+    """Bookkeeping a simulator exposes through ``result.metadata``.
+
+    Attributes:
+        scheme: Simulator class name.
+        inner_length: Rounds of the simulated noiseless protocol.
+        simulated_rounds: Channel rounds actually used.
+        overhead: ``simulated_rounds / inner_length`` (the quantity
+            Theorems 1.1/1.2 bound).
+        completed: Whether the full inner protocol was committed.
+        chunk_attempts: Chunk attempts run (chunk-commit scheme).
+        chunk_commits: Chunks committed (chunk-commit scheme).
+        rewinds: Rewind steps taken (rewind scheme).
+        extra: Scheme-specific details.
+    """
+
+    scheme: str
+    inner_length: int
+    simulated_rounds: int = 0
+    completed: bool = True
+    chunk_attempts: int = 0
+    chunk_commits: int = 0
+    rewinds: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def overhead(self) -> float:
+        if self.inner_length == 0:
+            return 0.0
+        return self.simulated_rounds / self.inner_length
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view (for results artifacts and logs)."""
+        return {
+            "scheme": self.scheme,
+            "inner_length": self.inner_length,
+            "simulated_rounds": self.simulated_rounds,
+            "overhead": self.overhead,
+            "completed": self.completed,
+            "chunk_attempts": self.chunk_attempts,
+            "chunk_commits": self.chunk_commits,
+            "rewinds": self.rewinds,
+            "extra": dict(self.extra),
+        }
+
+
+class Simulator(ABC):
+    """Base class of the noise-resilient simulation schemes.
+
+    Args:
+        params: Tunables; defaults are the paper-guided choices.
+        noise_model: Flip probabilities the scheme should assume; ``None``
+            infers them from the channel at ``simulate`` time.
+        on_incomplete: What to do when the scheme's round budget runs out
+            before the whole inner protocol is committed — ``"pad"``
+            (default: return best-effort outputs over a zero-padded
+            transcript, with ``report.completed = False``) or ``"raise"``
+            (raise :class:`~repro.errors.SimulationBudgetExceeded`
+            carrying the committed prefix length).
+    """
+
+    def __init__(
+        self,
+        params: SimulationParameters | None = None,
+        noise_model: NoiseModel | None = None,
+        on_incomplete: str = "pad",
+    ) -> None:
+        if on_incomplete not in ("pad", "raise"):
+            raise ConfigurationError(
+                f"on_incomplete must be 'pad' or 'raise', got "
+                f"{on_incomplete!r}"
+            )
+        self.params = params if params is not None else SimulationParameters()
+        self.noise_model = noise_model
+        self.on_incomplete = on_incomplete
+
+    def _enforce_completion(self, report: "SimulationReport") -> None:
+        """Apply the ``on_incomplete`` policy after an execution."""
+        if self.on_incomplete == "raise" and not report.completed:
+            from repro.errors import SimulationBudgetExceeded
+
+            committed = int(
+                report.chunk_commits
+                * report.extra.get("chunk_length", 0)
+            )
+            raise SimulationBudgetExceeded(
+                f"{report.scheme} exhausted its budget after "
+                f"{report.chunk_attempts} attempts with only "
+                f"{committed} of {report.inner_length} rounds committed",
+                committed_rounds=committed,
+            )
+
+    def _resolve_noise_model(self, channel: Channel) -> NoiseModel:
+        if self.noise_model is not None:
+            return self.noise_model
+        return infer_noise_model(channel)
+
+    @staticmethod
+    def _require_fixed_length(protocol: Protocol) -> int:
+        length = protocol.length()
+        if length is None:
+            raise ConfigurationError(
+                "simulators need the inner protocol's length to be fixed "
+                "and known (Protocol.length() returned None)"
+            )
+        return length
+
+    @abstractmethod
+    def simulate(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        channel: Channel,
+        *,
+        shared_seed: int | None = None,
+    ) -> ExecutionResult:
+        """Run ``protocol`` on ``inputs`` over the noisy ``channel``.
+
+        Returns an :class:`ExecutionResult` whose ``outputs`` aim to equal
+        the noiseless execution's outputs, and whose
+        ``metadata['report']`` is a :class:`SimulationReport`.
+        """

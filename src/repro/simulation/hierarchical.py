@@ -1,0 +1,332 @@
+"""The Appendix D.2 hierarchy: ``A_l`` with binary-search progress checks.
+
+This is the paper's actual construction (following [EKS18]), of which
+:class:`~repro.simulation.chunked.ChunkCommitSimulator` is the simplified
+per-chunk-verified variant:
+
+* ``A_0`` simulates the *next* chunk of the noiseless protocol — phase 1
+  repetition + phase 2 finding owners (Algorithm 1) — and appends it to the
+  working prefix **without verifying it**.
+* ``A_l`` (l > 0) runs ``A_{l-1}`` twice, then a **progress check**: the
+  parties binary-search for the longest prefix of the working chunks that
+  is consistent with everyone's beeps and owner claims, and truncate to it.
+  Each membership query of the binary search is an error-flag OR vote;
+  votes at level ``l`` are repeated ``Θ(log n) + c·l`` times, so a check at
+  level ``l`` fails with probability exponentially small in ``l`` — the
+  geometric error/cost balance that makes the paper's progress measure
+  double from level to level.
+
+Consistency of a prefix is monotone (a bad chunk poisons every longer
+prefix), so binary search applies; a party's flag for a prefix is the OR of
+its per-chunk flags (:func:`~repro.simulation.chunk_common.chunk_error_flag`),
+computable locally because each party remembers its own beeps per appended
+chunk (beeps for chunk ``c`` depend only on chunks before ``c``, and
+truncation only ever removes suffixes, so remembered beeps stay valid).
+
+The recursion depth is ``L = ceil(log₂(num_chunks)) + extra`` so that the
+``2^L`` leaf invocations comfortably cover ``num_chunks`` first-time
+simulations plus retries of truncated chunks.  Leaves past the protocol's
+end are idle (zero rounds; the decision is shared state, so lock-step is
+preserved).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.channels.base import Channel
+from repro.coding.ml import MLDecoder
+from repro.core.engine import run_protocol
+from repro.core.party import Party
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simulation.base import SimulationReport, Simulator
+from repro.simulation.chunk_common import (
+    InnerReplay,
+    SimulatedChunk,
+    simulate_chunk_with_owners,
+)
+from repro.simulation.owners import build_owners_code
+from repro.simulation.primitives import repeated_bit
+
+__all__ = ["HierarchicalSimulator"]
+
+
+class _HierarchicalParty(Party):
+    """One party of the A_L hierarchy."""
+
+    def __init__(
+        self,
+        party_index: int,
+        n_parties: int,
+        make_inner: Callable[[], Party],
+        inner_length: int,
+        chunk_length: int,
+        repetitions: int,
+        verification_repetitions: int,
+        level_repetition_step: int,
+        depth: int,
+        code,
+        decoder: MLDecoder,
+        report: SimulationReport,
+    ) -> None:
+        self.party_index = party_index
+        self.n_parties = n_parties
+        self.make_inner = make_inner
+        self.inner_length = inner_length
+        self.chunk_length = chunk_length
+        self.repetitions = repetitions
+        self.verification_repetitions = verification_repetitions
+        self.level_repetition_step = level_repetition_step
+        self.depth = depth
+        self.code = code
+        self.decoder = decoder
+        self.report = report
+        # Working state (chunks[i].pi / .owners are shared-consistent).
+        self.chunks: list[SimulatedChunk] = []
+        self._leaf_calls = 0
+        self._truncated_chunks = 0
+        self._checks = 0
+
+    # ------------------------------------------------------------------
+    # Working-prefix helpers
+    # ------------------------------------------------------------------
+
+    def _working_rounds(self) -> int:
+        return sum(len(chunk.pi) for chunk in self.chunks)
+
+    def _working_bits(self, num_chunks: int) -> list[int]:
+        bits: list[int] = []
+        for chunk in self.chunks[:num_chunks]:
+            bits.extend(chunk.pi)
+        return bits
+
+    def _prefix_flag(self, num_chunks: int) -> int:
+        """1 iff this party sees an inconsistency in the first
+        ``num_chunks`` working chunks."""
+        for chunk in self.chunks[:num_chunks]:
+            if chunk.party_flag(self.party_index):
+                return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # The recursion
+    # ------------------------------------------------------------------
+
+    def _leaf(self):
+        """``A_0``: simulate the next chunk (if any) and append it."""
+        self._leaf_calls += 1
+        done = self._working_rounds()
+        if done >= self.inner_length:
+            return  # idle leaf; shared decision, zero rounds
+        chunk_rounds = min(self.chunk_length, self.inner_length - done)
+        replay = InnerReplay(self.make_inner, self._working_bits(len(self.chunks)))
+        chunk = yield from simulate_chunk_with_owners(
+            self.party_index,
+            self.n_parties,
+            replay,
+            chunk_rounds,
+            self.repetitions,
+            self.code,
+            self.decoder,
+        )
+        self.chunks.append(chunk)
+
+    def _progress_check(self, level: int):
+        """Binary-search the longest consistent working prefix; truncate.
+
+        Votes are repeated ``verification_repetitions +
+        level_repetition_step · level`` times — the level-scaled reliability
+        of Appendix D.2.
+        """
+        self._checks += 1
+        votes = self.verification_repetitions + (
+            self.level_repetition_step * level
+        )
+        low, high = 0, len(self.chunks)
+        while low < high:
+            mid = (low + high + 1) // 2
+            flag = self._prefix_flag(mid)
+            verdict = yield from repeated_bit(flag, votes)
+            if verdict == 0:
+                low = mid
+            else:
+                high = mid - 1
+        if low < len(self.chunks):
+            self._truncated_chunks += len(self.chunks) - low
+            del self.chunks[low:]
+
+    def _run_level(self, level: int):
+        if level == 0:
+            yield from self._leaf()
+            return
+        yield from self._run_level(level - 1)
+        yield from self._run_level(level - 1)
+        yield from self._progress_check(level)
+
+    def run(self):
+        yield from self._run_level(self.depth)
+
+        if self.party_index == 0:
+            self.report.chunk_attempts = self._leaf_calls
+            self.report.chunk_commits = len(self.chunks)
+            self.report.rewinds = self._truncated_chunks
+            self.report.completed = (
+                self._working_rounds() == self.inner_length
+            )
+            self.report.extra["progress_checks"] = self._checks
+
+        committed = self._working_bits(len(self.chunks))
+        committed = committed[: self.inner_length]
+        padded = committed + [0] * (self.inner_length - len(committed))
+        replay = InnerReplay(self.make_inner, padded)
+        if not replay.finished:
+            raise ProtocolError(
+                "inner protocol did not finish at its declared length"
+            )
+        return replay.output
+
+
+class _HierarchicalProtocol(Protocol):
+    def __init__(self, party_kwargs: dict, n_parties: int) -> None:
+        super().__init__(n_parties)
+        self.party_kwargs = party_kwargs
+
+    def create_parties(
+        self, inputs: Sequence[Any], shared_seed: int | None = None
+    ) -> list[Party]:
+        self._check_inputs(inputs)
+        inputs = list(inputs)
+        inner = self.party_kwargs["inner"]
+
+        def make_factory(index: int) -> Callable[[], Party]:
+            def make() -> Party:
+                return inner.create_parties(
+                    inputs, shared_seed=shared_seed
+                )[index]
+
+            return make
+
+        kwargs = {
+            key: value
+            for key, value in self.party_kwargs.items()
+            if key != "inner"
+        }
+        return [
+            _HierarchicalParty(
+                party_index=index,
+                n_parties=self.n_parties,
+                make_inner=make_factory(index),
+                **kwargs,
+            )
+            for index in range(self.n_parties)
+        ]
+
+
+class HierarchicalSimulator(Simulator):
+    """The faithful Appendix-D.2 scheme: ``A_L`` with progress checks.
+
+    Compared with :class:`~repro.simulation.chunked.ChunkCommitSimulator`:
+
+    * chunks are appended *optimistically* (no per-chunk verification) —
+      errors are caught later by a progress check at some level;
+    * progress checks re-examine the *entire* working prefix by binary
+      search, so even an error that slipped past lower levels is eventually
+      rolled back — the property that extends Theorem 1.2 beyond
+      poly(n)-length protocols;
+    * check reliability scales with the level (``+ level_repetition_step``
+      votes per level), keeping the total check cost geometric.
+
+    Extra knobs (on top of :class:`SimulationParameters`): the recursion
+    depth is ``ceil(log₂ num_chunks) + extra_levels``.
+    """
+
+    def __init__(
+        self,
+        params=None,
+        noise_model=None,
+        on_incomplete: str = "pad",
+        *,
+        extra_levels: int = 1,
+        level_repetition_step: int = 2,
+    ) -> None:
+        super().__init__(params, noise_model, on_incomplete)
+        if extra_levels < 0:
+            raise ConfigurationError("extra_levels must be >= 0")
+        if level_repetition_step < 0:
+            raise ConfigurationError("level_repetition_step must be >= 0")
+        self.extra_levels = extra_levels
+        self.level_repetition_step = level_repetition_step
+
+    def simulate(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        channel: Channel,
+        *,
+        shared_seed: int | None = None,
+    ) -> ExecutionResult:
+        if not channel.correlated:
+            raise ConfigurationError(
+                "HierarchicalSimulator relies on a shared transcript and "
+                "requires a correlated channel"
+            )
+        inner_length = self._require_fixed_length(protocol)
+        noise = self._resolve_noise_model(channel)
+        epsilon = max(noise.up, noise.down)
+
+        n_parties = protocol.n_parties
+        chunk_length = self.params.resolve_chunk_length(n_parties)
+        repetitions = self.params.resolve_repetitions(n_parties, epsilon)
+        verification_repetitions = (
+            self.params.resolve_verification_repetitions(n_parties, epsilon)
+        )
+        num_chunks = max(1, math.ceil(inner_length / chunk_length))
+        depth = math.ceil(math.log2(num_chunks)) + self.extra_levels
+        code = build_owners_code(
+            chunk_length,
+            rate_constant=self.params.code_rate_constant,
+            seed=self.params.code_seed,
+        )
+        decoder = MLDecoder(code, noise)
+
+        report = SimulationReport(
+            scheme=type(self).__name__,
+            inner_length=inner_length,
+            extra={
+                "repetitions": repetitions,
+                "verification_repetitions": verification_repetitions,
+                "chunk_length": chunk_length,
+                "depth": depth,
+                "leaf_budget": 1 << depth,
+                "codeword_length": code.codeword_length,
+            },
+        )
+        wrapped = _HierarchicalProtocol(
+            {
+                "inner": protocol,
+                "inner_length": inner_length,
+                "chunk_length": chunk_length,
+                "repetitions": repetitions,
+                "verification_repetitions": verification_repetitions,
+                "level_repetition_step": self.level_repetition_step,
+                "depth": depth,
+                "code": code,
+                "decoder": decoder,
+                "report": report,
+            },
+            n_parties=n_parties,
+        )
+        result = run_protocol(
+            wrapped,
+            inputs,
+            channel,
+            shared_seed=shared_seed,
+            record_sent=False,
+        )
+        report.simulated_rounds = result.rounds
+        result.metadata["report"] = report
+        self._enforce_completion(report)
+        return result

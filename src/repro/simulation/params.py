@@ -1,0 +1,125 @@
+"""Simulation parameters.
+
+All tunables of the simulators live in one frozen dataclass so that a
+benchmark sweep can vary a single knob while keeping everything else fixed,
+and so tests can pin every constant explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationParameters", "repetitions_for"]
+
+
+def repetitions_for(
+    n_parties: int, epsilon: float, error_exponent: float = 3.0
+) -> int:
+    """The ``Θ(log n)`` repetition count for per-round majority voting.
+
+    Chooses the smallest odd ``r`` with ``exp(-2 r (1/2 - ε)²) ≤ n^{-error_exponent}``
+    (Hoeffding bound on a majority of ``r`` independent ε-noisy copies), so
+    each simulated round errs with probability at most ``n^{-error_exponent}``
+    and a union bound over a poly(n)-length protocol still vanishes.
+
+    For ε ≥ 1/2 the majority carries no signal; that is a configuration
+    error.
+    """
+    if not 0.0 <= epsilon < 0.5:
+        raise ConfigurationError(
+            f"repetition voting needs epsilon in [0, 0.5), got {epsilon}"
+        )
+    if n_parties < 1:
+        raise ConfigurationError(f"n_parties must be >= 1, got {n_parties}")
+    if epsilon == 0.0:
+        return 1
+    gap = 0.5 - epsilon
+    needed = error_exponent * math.log(max(n_parties, 2)) / (2.0 * gap * gap)
+    r = max(1, math.ceil(needed))
+    return r if r % 2 == 1 else r + 1
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Knobs of the chunk-commit and rewind simulators.
+
+    Attributes:
+        repetitions: Per-round repetition count of the simulation phase;
+            ``None`` derives it with :func:`repetitions_for` from the
+            channel's ε and the protocol's party count.
+        chunk_length: Virtual rounds per chunk; ``None`` uses the paper's
+            choice, chunk = n (the party count).
+        verification_repetitions: Rounds of the error-flag OR vote after
+            each chunk; ``None`` derives Θ(log n) like ``repetitions``.
+        code_rate_constant: The ``c`` in the owners-phase code length
+            ``c·log₂(alphabet)``.
+        code_seed: Seed of the shared owners-phase codebook.
+        attempt_slack: The chunk-attempt budget is
+            ``ceil(attempt_slack · num_chunks) + attempt_extra``.
+        attempt_extra: See above; absorbs bad luck on short protocols.
+        rewind_budget_factor: The rewind simulator runs
+            ``ceil(rewind_budget_factor · T) + rewind_budget_extra``
+            iterations (each = 1 simulation round + 1 vote round).
+        rewind_budget_extra: See above.
+        error_exponent: Target per-decision error is ``n^{-error_exponent}``.
+    """
+
+    repetitions: int | None = None
+    chunk_length: int | None = None
+    verification_repetitions: int | None = None
+    code_rate_constant: float = 12.0
+    code_seed: int = 0x5EED
+    attempt_slack: float = 1.5
+    attempt_extra: int = 8
+    rewind_budget_factor: float = 3.0
+    rewind_budget_extra: int = 32
+    error_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.repetitions is not None and self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if self.chunk_length is not None and self.chunk_length < 1:
+            raise ConfigurationError("chunk_length must be >= 1")
+        if (
+            self.verification_repetitions is not None
+            and self.verification_repetitions < 1
+        ):
+            raise ConfigurationError("verification_repetitions must be >= 1")
+        if self.code_rate_constant <= 0:
+            raise ConfigurationError("code_rate_constant must be positive")
+        if self.attempt_slack < 1.0:
+            raise ConfigurationError("attempt_slack must be >= 1.0")
+        if self.attempt_extra < 0:
+            raise ConfigurationError("attempt_extra must be >= 0")
+        if self.rewind_budget_factor < 1.0:
+            raise ConfigurationError("rewind_budget_factor must be >= 1.0")
+        if self.rewind_budget_extra < 0:
+            raise ConfigurationError("rewind_budget_extra must be >= 0")
+
+    def with_overrides(self, **changes: Any) -> "SimulationParameters":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    def resolve_repetitions(self, n_parties: int, epsilon: float) -> int:
+        """The effective per-round repetition count."""
+        if self.repetitions is not None:
+            return self.repetitions
+        return repetitions_for(n_parties, epsilon, self.error_exponent)
+
+    def resolve_chunk_length(self, n_parties: int) -> int:
+        """The effective chunk length (paper: chunk = n)."""
+        if self.chunk_length is not None:
+            return self.chunk_length
+        return max(1, n_parties)
+
+    def resolve_verification_repetitions(
+        self, n_parties: int, epsilon: float
+    ) -> int:
+        """The effective error-vote length."""
+        if self.verification_repetitions is not None:
+            return self.verification_repetitions
+        return repetitions_for(n_parties, epsilon, self.error_exponent)

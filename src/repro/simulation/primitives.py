@@ -1,0 +1,57 @@
+"""Sub-coroutines shared by the simulation schemes.
+
+Parties are generators (yield the beeped bit, receive the channel bit), so
+multi-round building blocks compose with ``yield from``: a party writes
+
+    decoded = yield from repeated_bit(bit, repetitions)
+
+and the engine sees the individual rounds while the party's code reads like a
+single logical operation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.util.bits import BitWord, majority_bit
+
+__all__ = ["repeated_bit", "transmit_word", "silent_rounds"]
+
+
+def repeated_bit(
+    bit: int, repetitions: int
+) -> Generator[int, int, int]:
+    """Beep ``bit`` for ``repetitions`` rounds; return the majority received.
+
+    This is the footnote-1 primitive: a single virtual round of the
+    simulated protocol, hardened by repetition + majority vote.  It doubles
+    as the error-flag OR vote of the verification phases (beep the flag,
+    majority-decode the OR of all flags).
+    """
+    votes: list[int] = []
+    for _ in range(repetitions):
+        votes.append((yield bit))
+    return majority_bit(votes)
+
+
+def transmit_word(
+    word: Sequence[int],
+) -> Generator[int, int, BitWord]:
+    """Beep a codeword bit-by-bit; return the received word.
+
+    Used by the owners phase: the speaker transmits ``C(j)`` while everyone
+    else transmits silence (the all-zero word), and every party collects the
+    channel's output for decoding.
+    """
+    received: list[int] = []
+    for bit in word:
+        received.append((yield bit))
+    return tuple(received)
+
+
+def silent_rounds(count: int) -> Generator[int, int, BitWord]:
+    """Stay silent for ``count`` rounds; return what was heard."""
+    received: list[int] = []
+    for _ in range(count):
+        received.append((yield 0))
+    return tuple(received)

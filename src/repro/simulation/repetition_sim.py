@@ -1,0 +1,121 @@
+"""The repetition simulator (footnote 1 of the paper).
+
+Every round of the noiseless protocol is repeated ``r`` times over the noisy
+channel and each party feeds its inner protocol the majority of what it
+heard.  With ``r = Θ(log n)`` each virtual round errs with probability
+polynomially small in ``n``, so a union bound covers protocols of length
+polynomial in ``n`` — which is why the paper calls this case "trivial" and
+reserves the chunk/owners machinery for arbitrary lengths.
+
+This scheme needs no shared transcript: each party majority-votes its *own*
+receptions, so it runs unchanged over correlated and independent noise — it
+is the workhorse of experiment E7's noise-model comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.core.engine import run_protocol
+from repro.core.party import Party
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.simulation.base import SimulationReport, Simulator
+from repro.simulation.primitives import repeated_bit
+
+__all__ = ["RepetitionSimulator", "RepetitionWrappedProtocol"]
+
+
+class _RepetitionParty(Party):
+    """Runs an inner party, repeating each of its rounds ``repetitions``
+    times and majority-decoding the channel's answers."""
+
+    def __init__(self, inner: Party, repetitions: int) -> None:
+        self.inner = inner
+        self.repetitions = repetitions
+
+    def run(self):
+        program = self.inner.run()
+        try:
+            bit = next(program)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            decoded = yield from repeated_bit(bit, self.repetitions)
+            try:
+                bit = program.send(decoded)
+            except StopIteration as stop:
+                return stop.value
+
+
+class RepetitionWrappedProtocol(Protocol):
+    """``inner`` with every round repeated ``repetitions`` times.
+
+    Exposed as a protocol (not only through the simulator) so that the
+    lower-bound experiments can treat "repetition-hardened InputSet protocol
+    truncated to a round budget" as just another protocol.
+    """
+
+    def __init__(self, inner: Protocol, repetitions: int) -> None:
+        super().__init__(inner.n_parties)
+        self.inner = inner
+        self.repetitions = repetitions
+
+    def length(self) -> int | None:
+        inner_length = self.inner.length()
+        if inner_length is None:
+            return None
+        return inner_length * self.repetitions
+
+    def create_parties(
+        self, inputs: Sequence[Any], shared_seed: int | None = None
+    ) -> list[Party]:
+        inner_parties = self.inner.create_parties(
+            inputs, shared_seed=shared_seed
+        )
+        return [
+            _RepetitionParty(inner, self.repetitions)
+            for inner in inner_parties
+        ]
+
+
+class RepetitionSimulator(Simulator):
+    """Simulate by per-round repetition + majority (footnote 1).
+
+    The repetition count is ``params.repetitions`` when set, else derived as
+    Θ(log n) from the channel's ε via
+    :func:`~repro.simulation.params.repetitions_for`.
+    """
+
+    def simulate(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        channel: Channel,
+        *,
+        shared_seed: int | None = None,
+    ) -> ExecutionResult:
+        inner_length = self._require_fixed_length(protocol)
+        noise = self._resolve_noise_model(channel)
+        # Repetition must beat the worse of the two flip directions.
+        epsilon = max(noise.up, noise.down)
+        repetitions = self.params.resolve_repetitions(
+            protocol.n_parties, epsilon
+        )
+        wrapped = RepetitionWrappedProtocol(protocol, repetitions)
+        result = run_protocol(
+            wrapped,
+            inputs,
+            channel,
+            shared_seed=shared_seed,
+            record_sent=False,
+        )
+        result.metadata["report"] = SimulationReport(
+            scheme=type(self).__name__,
+            inner_length=inner_length,
+            simulated_rounds=result.rounds,
+            completed=True,
+            extra={"repetitions": repetitions},
+        )
+        return result

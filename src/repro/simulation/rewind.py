@@ -1,0 +1,262 @@
+"""Constant-overhead rewind simulation for suppression (1→0) noise.
+
+Section 1.1 of the paper observes a striking asymmetry: while 0→1 noise
+forces an Ω(log n) simulation overhead (Theorem 1.1), noise that only turns
+beeps into silence admits a **constant**-overhead simulation.  The reason
+(§2.1): a 1→0 flip is always *detected by its victim* — the party whose beep
+vanished knows it — and under 1→0-only noise a received 1 is always genuine,
+so an error alarm can itself be trusted.
+
+This module implements the classic Schulman-style rewind random walk built
+on that observation.  Each iteration spends exactly two rounds:
+
+* **Alarm round** — every party compares the *entire* working transcript
+  against its own beeps; a party that ever beeped 1 where the transcript
+  shows 0 beeps an alarm.  A received alarm pops the last transcript
+  position (and the iteration's second round is a silent dummy).
+* **Simulation round** (only on a clean alarm vote) — parties beep the next
+  bit of the inner protocol (replayed against the current working
+  transcript) and append the received bit.
+
+Voting before extending matters: a corrupted round buried under later
+appends is only reachable if pops can outnumber appends, i.e. if an
+alarm-bearing iteration moves the frontier strictly backwards.
+
+Under suppression noise the alarm logic is sound and complete:
+
+* a received alarm proves some party's beep was suppressed somewhere in the
+  working prefix (alarms cannot be fabricated by noise), so a pop is always
+  warranted — at worst it discards a correct suffix that will be resimulated;
+* a corrupted position keeps its victim alarming every iteration, and each
+  alarm gets through with probability ``1 - ε``, so the walk drifts forward
+  and reaches a fully correct length-T transcript after O(T) iterations with
+  probability exponentially close to 1.
+
+The same scheme run over a 0→1-noisy channel is *unsound twice over*: noise
+fabricates alarms (popping good rounds) and fabricates transcript 1s that no
+party can dispute (§2.1's unverifiable 1s).  Experiment E3 runs exactly this
+head-to-head to exhibit the paper's asymmetry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.channels.base import Channel
+from repro.core.engine import run_protocol
+from repro.core.party import Party
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.errors import ConfigurationError
+from repro.simulation.base import SimulationReport, Simulator
+
+__all__ = ["RewindSimulator"]
+
+
+class _RewindParty(Party):
+    """One party of the rewind random walk."""
+
+    def __init__(
+        self,
+        party_index: int,
+        make_inner: Callable[[], Party],
+        inner_length: int,
+        iterations: int,
+        report: SimulationReport,
+    ) -> None:
+        self.party_index = party_index
+        self.make_inner = make_inner
+        self.inner_length = inner_length
+        self.iterations = iterations
+        self.report = report
+
+    def _replay(self, working: Sequence[int]):
+        """A fresh inner coroutine advanced past ``working``.
+
+        Returns ``(program, next_bit)`` where ``next_bit`` is the beep for
+        round ``len(working)``, or ``None`` when the protocol has ended (or
+        just ended — in which case ``program`` also carries the output via
+        ``StopIteration``).
+        """
+        program = self.make_inner().run()
+        try:
+            next_bit: int | None = next(program)
+            for received in working:
+                next_bit = program.send(received)
+        except StopIteration:
+            next_bit = None
+        return program, next_bit
+
+    def run(self):
+        # Incremental state.  ``my_beeps[m]`` is what I beeped in round
+        # ``m`` given ``working[:m]``; it stays valid under append/pop
+        # because a round's beep depends only on the prefix before it.
+        # ``disputed`` holds the positions I would alarm about; ``program``
+        # is a live inner coroutine aligned with ``working`` (rebuilt after
+        # pops, the only operation a coroutine cannot undo).
+        working: list[int] = []  # shared working transcript
+        my_beeps: list[int] = []
+        disputed: set[int] = set()
+        rewinds = 0
+        program, next_bit = self._replay(working)
+        stale = False
+
+        for _ in range(self.iterations):
+            if stale:
+                program, next_bit = self._replay(working)
+                stale = False
+
+            # Alarm round first: dispute any 0 in the working transcript
+            # where I beeped 1.  Voting *before* extending is what lets the
+            # walk move net-backwards and unwind a corrupted round that got
+            # buried under later appends.
+            alarm = 1 if disputed else 0
+            heard_alarm = yield alarm
+
+            if heard_alarm == 1:
+                if working:
+                    popped = len(working) - 1
+                    working.pop()
+                    my_beeps.pop()
+                    disputed.discard(popped)
+                    rewinds += 1
+                    stale = True
+                # Keep the iteration at a fixed two rounds: a silent dummy
+                # round replaces the simulation round after a rewind.
+                yield 0
+            else:
+                # Simulation round: extend the working transcript by one
+                # round (parties past the protocol's end stay silent).
+                position = len(working)
+                simulating = position < self.inner_length
+                my_bit = (
+                    next_bit
+                    if simulating and next_bit is not None
+                    else 0
+                )
+                received = yield my_bit
+                if simulating:
+                    working.append(received)
+                    my_beeps.append(my_bit)
+                    if received == 0 and my_bit == 1:
+                        disputed.add(position)
+                    try:
+                        next_bit = program.send(received)
+                    except StopIteration:
+                        next_bit = None
+
+        if self.party_index == 0:
+            self.report.rewinds = rewinds
+            self.report.completed = (
+                len(working) == self.inner_length and not disputed
+            )
+
+        padded = working + [0] * (self.inner_length - len(working))
+        final_program = self.make_inner().run()
+        output: Any = None
+        try:
+            next(final_program)
+            for received in padded:
+                final_program.send(received)
+        except StopIteration as stop:
+            output = stop.value
+        return output
+
+
+class _RewindProtocol(Protocol):
+    def __init__(
+        self,
+        inner: Protocol,
+        inner_length: int,
+        iterations: int,
+        report: SimulationReport,
+    ) -> None:
+        super().__init__(inner.n_parties)
+        self.inner = inner
+        self.inner_length = inner_length
+        self.iterations = iterations
+        self.report = report
+
+    def length(self) -> int:
+        return 2 * self.iterations
+
+    def create_parties(
+        self, inputs: Sequence[Any], shared_seed: int | None = None
+    ) -> list[Party]:
+        self._check_inputs(inputs)
+        inputs = list(inputs)
+
+        def make_factory(index: int) -> Callable[[], Party]:
+            def make() -> Party:
+                return self.inner.create_parties(
+                    inputs, shared_seed=shared_seed
+                )[index]
+
+            return make
+
+        return [
+            _RewindParty(
+                party_index=index,
+                make_inner=make_factory(index),
+                inner_length=self.inner_length,
+                iterations=self.iterations,
+                report=self.report,
+            )
+            for index in range(self.n_parties)
+        ]
+
+
+class RewindSimulator(Simulator):
+    """The constant-overhead rewind scheme (sound under 1→0-only noise).
+
+    Runs ``ceil(rewind_budget_factor · T) + rewind_budget_extra`` iterations
+    of (simulate one round, alarm vote), i.e. a fixed round count of
+    ``2·(budget_factor·T + extra)`` — a *constant* multiple of T, the
+    separation from the Θ(log n) chunk scheme that experiment E3 measures.
+
+    The scheme is well-defined over any correlated channel, but its
+    correctness argument needs suppression noise; over 0→1 noise it serves
+    as the negative control demonstrating the paper's asymmetry.
+    """
+
+    def simulate(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        channel: Channel,
+        *,
+        shared_seed: int | None = None,
+    ) -> ExecutionResult:
+        if not channel.correlated:
+            raise ConfigurationError(
+                "RewindSimulator requires a correlated channel (the working "
+                "transcript must be shared)"
+            )
+        inner_length = self._require_fixed_length(protocol)
+        iterations = (
+            math.ceil(self.params.rewind_budget_factor * inner_length)
+            + self.params.rewind_budget_extra
+        )
+        report = SimulationReport(
+            scheme=type(self).__name__,
+            inner_length=inner_length,
+            extra={"iterations": iterations},
+        )
+        wrapped = _RewindProtocol(
+            inner=protocol,
+            inner_length=inner_length,
+            iterations=iterations,
+            report=report,
+        )
+        result = run_protocol(
+            wrapped,
+            inputs,
+            channel,
+            shared_seed=shared_seed,
+            record_sent=False,
+        )
+        report.simulated_rounds = result.rounds
+        result.metadata["report"] = report
+        self._enforce_completion(report)
+        return result

@@ -1,0 +1,156 @@
+"""Network-size estimation by geometric beeping.
+
+Approximating the number of participants is a flagship beeping-model
+primitive (the paper cites [BKK⁺16], "Approximating the size of a radio
+network in beeping model").  The classic single-hop protocol: in phase
+``k`` every party beeps with probability ``2^{-k}``; the first *silent*
+phase ``k*`` satisfies ``2^{k*} ≈ n``, because the OR of ``n`` coins of
+bias ``2^{-k}`` flips from almost-surely-1 to almost-surely-0 around
+``k ≈ log₂ n``.
+
+Randomness is modelled the clean way for this package's deterministic
+protocol formalism: each party's *input* is its private coin tape (the
+``t^i_k ~ Bernoulli(2^{-k})`` draws), sampled by
+:meth:`SizeEstimateTask.sample_inputs`.  The protocol itself is then
+deterministic and non-adaptive — and therefore directly consumable by
+every simulator in :mod:`repro.simulation`.
+
+Noise interacts with this task in a particularly clean way: a single 0→1
+flip in a late phase inflates the estimate by the remaining-phase
+structure, and a 1→0 flip in an early phase collapses it — making the task
+a sensitive probe for the simulators (it is used in the example suite and
+the integration tests).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.core.protocol import FunctionalProtocol, Protocol
+from repro.errors import ConfigurationError, TaskError
+from repro.tasks.base import Task
+
+__all__ = ["SizeEstimateTask", "size_estimate_noiseless_protocol"]
+
+
+def size_estimate_noiseless_protocol(
+    n_parties: int, phases: int
+) -> Protocol:
+    """``phases`` rounds; party ``i`` beeps its coin tape bit in phase k.
+
+    The output is ``2^{k*}`` for the first silent phase ``k*`` (or
+    ``2^{phases}`` if every phase beeped).
+    """
+
+    def broadcast(
+        _party: int, tape: Sequence[int], prefix: Sequence[int]
+    ) -> int:
+        return tape[len(prefix)]
+
+    def output(
+        _party: int, _tape: Sequence[int], received: Sequence[int]
+    ) -> int:
+        for phase, bit in enumerate(received):
+            if bit == 0:
+                return 1 << phase
+        return 1 << len(received)
+
+    return FunctionalProtocol(
+        n_parties=n_parties,
+        length=phases,
+        broadcast=broadcast,
+        output=output,
+    )
+
+
+class SizeEstimateTask(Task):
+    """Estimate the participant count within a multiplicative tolerance.
+
+    Args:
+        n_parties: The true network size (what the estimate targets).
+        tolerance: Success means every party outputs the same estimate
+            within a factor ``tolerance`` of ``n_parties``.  The geometric
+            protocol concentrates within a small constant factor, so the
+            default 32 succeeds with high probability even for small n.
+        extra_phases: Phases beyond ``log₂ n`` (headroom so that the first
+            silent phase exists with overwhelming probability).
+    """
+
+    def __init__(
+        self,
+        n_parties: int,
+        tolerance: float = 32.0,
+        extra_phases: int = 6,
+    ) -> None:
+        if n_parties < 1:
+            raise ConfigurationError(
+                f"need at least one party, got {n_parties}"
+            )
+        if tolerance < 1.0:
+            raise ConfigurationError(
+                f"tolerance must be >= 1, got {tolerance}"
+            )
+        if extra_phases < 1:
+            raise ConfigurationError(
+                f"extra_phases must be >= 1, got {extra_phases}"
+            )
+        super().__init__(n_parties)
+        self.tolerance = tolerance
+        self.phases = (
+            max(1, math.ceil(math.log2(max(n_parties, 2)))) + extra_phases
+        )
+
+    def sample_inputs(self, rng: random.Random) -> list[tuple[int, ...]]:
+        """Each party's input is its private coin tape:
+        ``tape[k] ~ Bernoulli(2^{-k})`` (phase 0 always beeps)."""
+        return [
+            tuple(
+                1 if rng.random() < 2.0 ** (-phase) else 0
+                for phase in range(self.phases)
+            )
+            for _ in range(self.n_parties)
+        ]
+
+    def reference_output(self, inputs: Sequence[Sequence[int]]) -> int:
+        """The estimate the *noiseless* execution would produce.
+
+        Deterministic in the coin tapes: the OR of the tapes per phase,
+        scanned for the first silence.
+        """
+        if len(inputs) != self.n_parties:
+            raise TaskError(
+                f"expected {self.n_parties} tapes, got {len(inputs)}"
+            )
+        for phase in range(self.phases):
+            if not any(tape[phase] for tape in inputs):
+                return 1 << phase
+        return 1 << self.phases
+
+    def is_correct(
+        self, inputs: Sequence[Sequence[int]], outputs: Sequence[int]
+    ) -> bool:
+        """All parties agree AND the estimate is within tolerance of n.
+
+        Note this is stricter than matching the noiseless execution: a
+        simulated run must both faithfully reproduce the transcript *and*
+        the transcript must actually estimate well — the task-level
+        success probability therefore factors as
+        Pr[good tapes]·Pr[faithful simulation].
+        """
+        if not outputs:
+            return False
+        estimate = outputs[0]
+        if any(output != estimate for output in outputs):
+            return False
+        return (
+            self.n_parties / self.tolerance
+            <= estimate
+            <= self.n_parties * self.tolerance
+        )
+
+    def noiseless_protocol(self) -> Protocol:
+        return size_estimate_noiseless_protocol(
+            self.n_parties, self.phases
+        )

@@ -1,0 +1,84 @@
+"""Two-party bit exchange over Blackwell's multiplication channel.
+
+The introduction notes that the beeping model generalizes Blackwell's binary
+*multiplication channel*: with two parties, each round delivers the OR
+(equivalently, by complementing, the AND) of the two sent bits.  When the
+parties take turns — the listener stays silent (beeps 0) — the OR is exactly
+the speaker's bit, so the channel degenerates to alternating noiseless
+broadcast.
+
+:class:`BitExchangeTask` uses this to have two parties exchange ``k``-bit
+strings in ``2k`` rounds: even rounds carry party 0's next bit, odd rounds
+party 1's.  Both parties output the pair of strings.  The task gives the
+simulators a protocol whose transcript is *dense in meaningful 0s* —
+the regime in which 0→1 noise flips are maximally damaging (§2.4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.protocol import FunctionalProtocol, Protocol
+from repro.errors import ConfigurationError, TaskError
+from repro.tasks.base import Task
+
+__all__ = ["BitExchangeTask", "bit_exchange_noiseless_protocol"]
+
+
+def bit_exchange_noiseless_protocol(word_length: int) -> Protocol:
+    """2·word_length rounds of alternating broadcast between two parties.
+
+    Inputs are bit tuples of length ``word_length``; the output is the pair
+    ``(x^0, x^1)`` reconstructed from the transcript (party 0's bits sit in
+    even rounds, party 1's in odd rounds).
+    """
+    length = 2 * word_length
+
+    def broadcast(
+        party: int, input_value: Sequence[int], prefix: Sequence[int]
+    ) -> int:
+        round_index = len(prefix)
+        speaker = round_index % 2
+        if party != speaker:
+            return 0
+        return input_value[round_index // 2]
+
+    def output(
+        _party: int, _input_value: Sequence[int], received: Sequence[int]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        word_0 = tuple(received[2 * t] for t in range(word_length))
+        word_1 = tuple(received[2 * t + 1] for t in range(word_length))
+        return (word_0, word_1)
+
+    return FunctionalProtocol(
+        n_parties=2, length=length, broadcast=broadcast, output=output
+    )
+
+
+class BitExchangeTask(Task):
+    """Two parties exchange uniform ``word_length``-bit strings."""
+
+    def __init__(self, word_length: int) -> None:
+        if word_length < 1:
+            raise ConfigurationError(
+                f"word_length must be >= 1, got {word_length}"
+            )
+        super().__init__(n_parties=2)
+        self.word_length = word_length
+
+    def sample_inputs(self, rng: random.Random) -> list[tuple[int, ...]]:
+        return [
+            tuple(rng.getrandbits(1) for _ in range(self.word_length))
+            for _ in range(2)
+        ]
+
+    def reference_output(
+        self, inputs: Sequence[Sequence[int]]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        if len(inputs) != 2:
+            raise TaskError(f"expected 2 inputs, got {len(inputs)}")
+        return (tuple(inputs[0]), tuple(inputs[1]))
+
+    def noiseless_protocol(self) -> Protocol:
+        return bit_exchange_noiseless_protocol(self.word_length)

@@ -1,0 +1,138 @@
+"""Two-party pointer chasing over the beeping channel.
+
+§1.2 of the paper singles out pointer chasing as the candidate instance
+for a super-constant *independent-noise* lower bound ("it is our belief
+that with a different example (e.g., a variant of pointer chasing), a
+super-constant lower bound on the blowup can be proved for independent
+noise as well").  This module provides the task so that future-work
+experiments have their instance ready.
+
+The classic problem: party 0 holds a function ``f : [N] → [N]``, party 1
+holds ``g : [N] → [N]``; starting from node 0 they must compute the node
+reached after ``depth`` alternating applications ``g(f(g(f(...0...))))``
+— wait, order: step 1 applies ``f``, step 2 applies ``g``, and so on.
+The natural protocol alternates: the party owning the next function
+transmits the next pointer bit by bit (the other stays silent, so the OR
+channel carries the bits faithfully), each step consuming ``log₂ N``
+rounds.  Every transmitted pointer depends on everything received so far,
+making this the package's most deeply *adaptive* protocol — information
+flows through a chain of dependent hops, which is exactly why it is a
+natural hard instance for noise.
+
+The final pointer is read off the transcript's last ``log₂ N`` rounds, so
+outputs are transcript-determined (the §C.2 normalisation holds for free).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.protocol import FunctionalProtocol, Protocol
+from repro.errors import ConfigurationError, TaskError
+from repro.tasks.base import Task
+from repro.util.bits import bits_to_int, int_to_bits
+
+__all__ = ["PointerChasingTask", "pointer_chasing_noiseless_protocol"]
+
+
+def pointer_chasing_noiseless_protocol(
+    depth: int, domain_bits: int
+) -> Protocol:
+    """``depth`` alternating pointer transmissions of ``domain_bits`` each.
+
+    Step ``s`` (0-based) is owned by party ``s % 2`` (party 0 applies its
+    function first).  During step ``s`` the owner beeps the binary
+    expansion of its function applied to the previous pointer; the other
+    party is silent.  The output is the last transmitted pointer.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    if domain_bits < 1:
+        raise ConfigurationError(
+            f"domain_bits must be >= 1, got {domain_bits}"
+        )
+    length = depth * domain_bits
+
+    def current_pointer(prefix: Sequence[int]) -> int:
+        """The pointer as of the last *completed* step (0 initially)."""
+        completed = len(prefix) // domain_bits
+        if completed == 0:
+            return 0
+        start = (completed - 1) * domain_bits
+        return bits_to_int(prefix[start : start + domain_bits])
+
+    def broadcast(
+        party: int, function: Sequence[int], prefix: Sequence[int]
+    ) -> int:
+        step = len(prefix) // domain_bits
+        if step % 2 != party:
+            return 0  # not my step: stay silent
+        pointer = current_pointer(prefix)
+        value = function[pointer]
+        position = len(prefix) % domain_bits
+        return int_to_bits(value, domain_bits)[position]
+
+    def output(
+        _party: int, _function: Sequence[int], received: Sequence[int]
+    ) -> int:
+        return bits_to_int(received[-domain_bits:])
+
+    return FunctionalProtocol(
+        n_parties=2, length=length, broadcast=broadcast, output=output
+    )
+
+
+class PointerChasingTask(Task):
+    """Chase ``depth`` alternating pointers through two private functions.
+
+    Args:
+        depth: Number of pointer hops (party 0 moves first).
+        domain_bits: log₂ of the domain size N.
+
+    Inputs are uniform functions ``[N] → [N]`` (one per party, as tuples);
+    the reference output is the node after ``depth`` hops from node 0.
+    """
+
+    def __init__(self, depth: int, domain_bits: int) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if domain_bits < 1:
+            raise ConfigurationError(
+                f"domain_bits must be >= 1, got {domain_bits}"
+            )
+        super().__init__(n_parties=2)
+        self.depth = depth
+        self.domain_bits = domain_bits
+        self.domain_size = 1 << domain_bits
+
+    def sample_inputs(self, rng: random.Random) -> list[tuple[int, ...]]:
+        return [
+            tuple(
+                rng.randrange(self.domain_size)
+                for _ in range(self.domain_size)
+            )
+            for _ in range(2)
+        ]
+
+    def reference_output(self, inputs: Sequence[Sequence[int]]) -> int:
+        if len(inputs) != 2:
+            raise TaskError(f"expected 2 functions, got {len(inputs)}")
+        for function in inputs:
+            if len(function) != self.domain_size:
+                raise TaskError(
+                    f"functions must have {self.domain_size} entries"
+                )
+            if any(
+                not 0 <= value < self.domain_size for value in function
+            ):
+                raise TaskError("function values outside the domain")
+        pointer = 0
+        for step in range(self.depth):
+            pointer = inputs[step % 2][pointer]
+        return pointer
+
+    def noiseless_protocol(self) -> Protocol:
+        return pointer_chasing_noiseless_protocol(
+            self.depth, self.domain_bits
+        )

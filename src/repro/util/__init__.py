@@ -1,0 +1,23 @@
+"""Small generic utilities shared across the package."""
+
+from repro.util.bits import (
+    BitWord,
+    bits_to_int,
+    hamming_distance,
+    int_to_bits,
+    majority_bit,
+    or_reduce,
+    validate_bit,
+    validate_bits,
+)
+
+__all__ = [
+    "BitWord",
+    "bits_to_int",
+    "hamming_distance",
+    "int_to_bits",
+    "majority_bit",
+    "or_reduce",
+    "validate_bit",
+    "validate_bits",
+]

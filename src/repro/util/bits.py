@@ -1,0 +1,103 @@
+"""Bit-vector helpers used by channels, codes, and protocols.
+
+Bits throughout the package are plain Python ``int`` values 0/1 (never
+``bool``), and bit words are tuples of such ints.  Tuples are hashable, so
+codewords can be dictionary keys, and immutability rules out accidental
+aliasing between transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ChannelError
+
+__all__ = [
+    "BitWord",
+    "validate_bit",
+    "validate_bits",
+    "or_reduce",
+    "majority_bit",
+    "hamming_distance",
+    "int_to_bits",
+    "bits_to_int",
+]
+
+BitWord = Tuple[int, ...]
+
+
+def validate_bit(value: object) -> int:
+    """Return ``value`` as an ``int`` bit, raising :class:`ChannelError` otherwise.
+
+    Accepts 0, 1 and ``bool``; rejects everything else, including other
+    integers, so that a party yielding e.g. ``2`` fails loudly at the round
+    in which it happened.
+    """
+    if value is True:
+        return 1
+    if value is False:
+        return 0
+    if isinstance(value, int) and value in (0, 1):
+        return value
+    raise ChannelError(f"expected a bit (0 or 1), got {value!r}")
+
+
+def validate_bits(values: Iterable[object]) -> BitWord:
+    """Validate an iterable of bits and return them as a tuple."""
+    return tuple(validate_bit(value) for value in values)
+
+
+def or_reduce(bits: Sequence[int]) -> int:
+    """The OR of a bit sequence — the beeping channel's combining function.
+
+    An empty sequence ORs to 0 (nobody beeped).
+    """
+    for bit in bits:
+        if bit:
+            return 1
+    return 0
+
+
+def majority_bit(bits: Sequence[int]) -> int:
+    """Majority vote over a bit sequence; ties (and empty input) go to 0.
+
+    Ties-to-0 is the right convention for the beeping simulators: silence is
+    the channel's default state, and a tie means the repetition coding gave
+    no evidence of a beep.
+    """
+    ones = sum(bits)
+    return 1 if 2 * ones > len(bits) else 0
+
+
+def hamming_distance(word_a: Sequence[int], word_b: Sequence[int]) -> int:
+    """Number of positions at which two equal-length words differ."""
+    if len(word_a) != len(word_b):
+        raise ChannelError(
+            f"hamming_distance: length mismatch ({len(word_a)} vs {len(word_b)})"
+        )
+    return sum(1 for bit_a, bit_b in zip(word_a, word_b) if bit_a != bit_b)
+
+
+def int_to_bits(value: int, width: int) -> BitWord:
+    """Encode ``value`` as ``width`` bits, most significant bit first.
+
+    >>> int_to_bits(5, 4)
+    (0, 1, 0, 1)
+    """
+    if value < 0:
+        raise ChannelError(f"cannot encode negative value {value}")
+    if value >= (1 << width):
+        raise ChannelError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> shift) & 1 for shift in range(width - 1, -1, -1))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Decode a most-significant-bit-first bit sequence to an integer.
+
+    >>> bits_to_int((0, 1, 0, 1))
+    5
+    """
+    value = 0
+    for bit in bits:
+        value = (value << 1) | validate_bit(bit)
+    return value

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.tasks import InputSetTask
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for sampling test inputs."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def noiseless_channel() -> NoiselessChannel:
+    return NoiselessChannel()
+
+
+@pytest.fixture
+def mild_noise_channel() -> CorrelatedNoiseChannel:
+    """Two-sided ε = 0.1, the workhorse noise level of the fast tests."""
+    return CorrelatedNoiseChannel(epsilon=0.1, rng=1234)
+
+
+@pytest.fixture
+def one_sided_channel() -> OneSidedNoiseChannel:
+    return OneSidedNoiseChannel(epsilon=1.0 / 3.0, rng=1234)
+
+
+@pytest.fixture
+def suppression_channel() -> SuppressionNoiseChannel:
+    return SuppressionNoiseChannel(epsilon=0.1, rng=1234)
+
+
+@pytest.fixture
+def small_input_set_task() -> InputSetTask:
+    return InputSetTask(n_parties=5)

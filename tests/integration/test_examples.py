@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess (so ``__main__`` guards and prints are
+exercised exactly as a user would see them) with a generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_discovered():
+    """The example suite should keep its seven walkthroughs."""
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "fireflies",
+        "sensor_network",
+        "overhead_curve",
+        "lower_bound_demo",
+        "noise_models_tour",
+        "multihop_mis",
+    } <= names

@@ -1,0 +1,54 @@
+"""Every experiment runs end-to-end at reduced scale.
+
+The full-scale runs are the benchmark suite; these integration tests keep
+the ``scale`` knob honest across all thirteen experiments: tables render,
+data serialises, and the *deterministic* checks (exact enumerations, the
+structural ones) hold even at tiny trial counts.  Statistical checks may
+wobble at low scale, so they are not asserted here — only that the runs
+complete and report coherently.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+
+# Scales tuned so the whole module stays fast while still exercising the
+# real sweep shapes.
+SCALES = {
+    "E1": 0.4,
+    "E2": 0.2,
+    "E3": 0.3,
+    "E4": 0.2,
+    "E5": 0.3,
+    "E6": 0.1,
+    "E7": 0.25,
+    "E8": 0.4,
+    "E9": 0.3,
+    "E10": 0.3,
+    "E11": 0.4,
+    "E12": 0.4,
+    "E13": 0.35,
+}
+
+
+@pytest.mark.parametrize(
+    "experiment_id", sorted(SCALES, key=lambda e: int(e[1:]))
+)
+def test_experiment_runs_at_reduced_scale(experiment_id):
+    result = run_experiment(
+        experiment_id, seed=7, scale=SCALES[experiment_id]
+    )
+    # Structure.
+    assert result.experiment_id == experiment_id
+    assert result.table.strip()
+    assert result.checks, "every experiment must declare shape checks"
+    # Data round-trips through JSON (the report artifact contract).
+    json.dumps(result.data)
+    # The table leads with the experiment id (EXPERIMENTS.md convention).
+    assert result.table.lstrip().startswith(experiment_id)
+
+
+def test_registry_and_scales_in_sync():
+    assert set(SCALES) == set(REGISTRY)

@@ -1,0 +1,182 @@
+"""Integration tests tying executions to the paper's theorem statements."""
+
+import math
+import random
+
+import pytest
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.core import run_protocol
+from repro.core.formal import NoiseModel
+from repro.lowerbound import theory
+from repro.lowerbound.zeta import LowerBoundAnalyzer
+from repro.simulation import ChunkCommitSimulator, SimulationParameters
+from repro.simulation.owners import OwnersProtocol, build_owners_code
+from repro.tasks import InputSetTask
+from repro.tasks.input_set import input_set_formal_protocol
+
+
+class TestTheoremD1:
+    """Theorem D.1: the finding-owners phase gives all parties identical
+    owner tables whose owners really beeped 1, w.h.p."""
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.2])
+    def test_owner_guarantees_statistical(self, epsilon):
+        n = 6
+        rng = random.Random(123)
+        trials = 30
+        perfect = 0
+        code = build_owners_code(n, rate_constant=16.0)
+        for trial in range(trials):
+            bits = [
+                tuple(rng.getrandbits(1) for _ in range(n))
+                for _ in range(n)
+            ]
+            pi = tuple(max(col) for col in zip(*bits))
+            protocol = OwnersProtocol(
+                n, pi, NoiseModel.two_sided(epsilon), code=code
+            )
+            channel = CorrelatedNoiseChannel(epsilon, rng=trial)
+            result = run_protocol(protocol, bits, channel)
+            reference = result.outputs[0].owners
+            consistent = all(
+                out.owners == reference for out in result.outputs
+            )
+            valid = all(
+                bits[owner][pos] == 1
+                for pos, owner in reference.items()
+            )
+            covering = set(reference) == {
+                m for m in range(n) if pi[m] == 1
+            }
+            perfect += consistent and valid and covering
+        assert perfect / trials >= 0.85
+
+    def test_owner_rounds_are_n_log_n(self):
+        """The phase costs (|J| + n)·Θ(log n) rounds — for |J| ≤ n this
+        is the paper's O(n log n)."""
+        for n in (4, 8, 16):
+            pi = (1,) * n
+            protocol = OwnersProtocol(
+                n, pi, NoiseModel.two_sided(0.1)
+            )
+            rounds = protocol.length()
+            code_len = protocol.code.codeword_length
+            assert rounds == 2 * n * code_len
+            # Θ(log n) codeword length:
+            assert code_len <= 14 * math.log2(n + 2) + 8
+
+
+class TestTheoremC2C3Contradiction:
+    """The engine of Theorem C.1: for T below the crossover, the C.2 cap
+    sits below the C.3 floor, so no correct protocol can exist — and the
+    exact analyzer confirms both sides on small instances."""
+
+    def test_exact_zeta_below_c2_cap(self):
+        for n, repetitions in [(2, 1), (2, 2), (3, 1)]:
+            protocol = input_set_formal_protocol(n, repetitions)
+            analyzer = LowerBoundAnalyzer(
+                protocol, NoiseModel.one_sided(1 / 3)
+            )
+            cap = theory.c2_zeta_bound(n, protocol.length())
+            assert analyzer.max_zeta_in_good() <= cap * (1 + 1e-9)
+
+    def test_contradiction_region_excludes_correct_protocols(self):
+        """For large n there is a T range where the cap < floor; inside
+        it Theorem C.1 forbids correctness.  Verify the region is
+        non-empty and Θ(n log n)-sized."""
+        n = 10**6
+        crossover = theory.zeta_crossover_rounds(n)
+        assert crossover > 0
+        below = crossover / 2
+        assert theory.c2_zeta_bound(n, below) < theory.c3_zeta_requirement(n)
+        above = crossover * 2
+        assert theory.c2_zeta_bound(n, above) > theory.c3_zeta_requirement(n)
+        # Θ(n log n): crossover / n within constant factors of log_3 n / 4.
+        ratio = crossover / (n * math.log(n ** 0.25 / 4, 3))
+        assert 0.2 <= ratio <= 0.3  # exactly 1/4 by the formula
+
+    def test_naive_protocol_accuracy_degrades_with_n(self):
+        """The 2n-round protocol's exact success probability under
+        one-sided 1/3 noise decays with n — the protocol the lower bound
+        says cannot be short-simulated."""
+        accuracies = []
+        for n in (1, 2, 3):
+            analyzer = LowerBoundAnalyzer(
+                input_set_formal_protocol(n), NoiseModel.one_sided(1 / 3)
+            )
+            accuracies.append(
+                analyzer.correctness_probability(lambda x: frozenset(x))
+            )
+        assert accuracies[0] > accuracies[1] > accuracies[2]
+        # Closed form: all 2n - |L(x)| silent rounds must stay silent.
+        assert accuracies[0] == pytest.approx(2 / 3)
+
+
+class TestTheorem12Shape:
+    """Theorem 1.2: the chunk-commit simulator completes with O(log n)
+    overhead; its per-round repetition factor carries the log."""
+
+    def test_overhead_composition(self):
+        task = InputSetTask(6)
+        inputs = task.sample_inputs(random.Random(0))
+        params = SimulationParameters()
+        simulator = ChunkCommitSimulator(params)
+        channel = CorrelatedNoiseChannel(0.1, rng=5)
+        result = simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+        report = result.metadata["report"]
+        assert report.completed
+        repetitions = report.extra["repetitions"]
+        code_len = report.extra["codeword_length"]
+        chunk = report.extra["chunk_length"]
+        # Per committed chunk: chunk·reps simulation rounds, at most
+        # (chunk + n)·code_len owner rounds, plus the verification vote.
+        per_chunk_cap = (
+            chunk * repetitions
+            + (chunk + task.n_parties) * code_len
+            + report.extra["verification_repetitions"]
+        )
+        assert result.rounds <= report.chunk_attempts * per_chunk_cap
+
+    def test_completion_probability_high(self):
+        task = InputSetTask(5)
+        simulator = ChunkCommitSimulator()
+        completed = 0
+        for trial in range(20):
+            inputs = task.sample_inputs(random.Random(trial))
+            channel = CorrelatedNoiseChannel(0.15, rng=trial + 100)
+            result = simulator.simulate(
+                task.noiseless_protocol(), inputs, channel
+            )
+            completed += result.metadata["report"].completed
+        assert completed >= 19
+
+
+class TestReductionTheoremA12:
+    """A.1.2: one-sided ε = 1/3 + shared 1/4-down-flip ≡ two-sided 1/4."""
+
+    def test_distribution_match_against_direct_channel(self):
+        from repro.channels import SharedFlipReductionChannel
+
+        trials = 8000
+        reduction = SharedFlipReductionChannel(rng=1)
+        direct = CorrelatedNoiseChannel(0.25, rng=2)
+        for pattern in [(0, 0, 0), (1, 0, 0)]:
+            reduced_rate = (
+                sum(
+                    reduction.transmit(pattern).common
+                    for _ in range(trials)
+                )
+                / trials
+            )
+            direct_rate = (
+                sum(direct.transmit(pattern).common for _ in range(trials))
+                / trials
+            )
+            assert reduced_rate == pytest.approx(direct_rate, abs=0.025)

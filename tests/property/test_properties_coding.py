@@ -1,0 +1,96 @@
+"""Property-based tests for the coding layer."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    GreedyRandomCode,
+    HadamardCode,
+    MLDecoder,
+    RepetitionCode,
+)
+from repro.core.formal import NoiseModel
+from repro.util.bits import hamming_distance
+
+
+class TestCodeInvariants:
+    @given(
+        num_symbols=st.integers(min_value=2, max_value=24),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30)
+    def test_greedy_code_injective_and_floored(self, num_symbols, seed):
+        code = GreedyRandomCode(num_symbols, 48, seed=seed)
+        code.validate_injective()
+        assert code.min_distance() >= code.min_distance_floor
+
+    @given(num_symbols=st.integers(min_value=2, max_value=64))
+    def test_hadamard_pairwise_distance_exactly_half(self, num_symbols):
+        code = HadamardCode(num_symbols)
+        words = code.codewords
+        for a in range(min(len(words), 8)):
+            for b in range(a + 1, min(len(words), 8)):
+                assert (
+                    hamming_distance(words[a], words[b])
+                    == code.codeword_length // 2
+                )
+
+    @given(
+        num_symbols=st.integers(min_value=1, max_value=32),
+        repetitions=st.integers(min_value=1, max_value=8),
+    )
+    def test_repetition_code_length_formula(self, num_symbols, repetitions):
+        code = RepetitionCode(num_symbols, repetitions)
+        assert code.codeword_length == code.width * repetitions
+
+
+class TestMLDecoderProperties:
+    @given(
+        symbol=st.integers(min_value=0, max_value=9),
+        up=st.floats(min_value=0.0, max_value=0.45),
+        down=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_clean_word_decodes_to_itself(self, symbol, up, down, seed):
+        """For up + down < 1 the true codeword strictly maximises the
+        likelihood of its own (uncorrupted) reception."""
+        code = GreedyRandomCode(10, 40, seed=seed)
+        decoder = MLDecoder(code, NoiseModel(up=up, down=down))
+        assert decoder.decode(code.encode(symbol)) == symbol
+
+    @given(
+        symbol=st.integers(min_value=0, max_value=7),
+        flips=st.lists(
+            st.integers(min_value=0, max_value=39),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        ),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40)
+    def test_few_flips_still_decode(self, symbol, flips, seed):
+        """Flipping at most 4 of 40 positions stays within half the
+        distance floor of the greedy code, so decoding must succeed."""
+        code = GreedyRandomCode(8, 40, seed=seed)
+        assume(len(flips) * 2 < code.min_distance())
+        decoder = MLDecoder(code, NoiseModel.two_sided(0.2))
+        word = list(code.encode(symbol))
+        for index in flips:
+            word[index] ^= 1
+        assert decoder.decode(word) == symbol
+
+    @given(
+        up=st.floats(min_value=0.01, max_value=0.45),
+        down=st.floats(min_value=0.01, max_value=0.45),
+    )
+    def test_log_likelihood_monotone_in_agreement(self, up, down):
+        """More agreement with the codeword means higher likelihood."""
+        code = HadamardCode(4)
+        decoder = MLDecoder(code, NoiseModel(up=up, down=down))
+        word = code.encode(3)
+        exact = decoder.log_likelihood(3, word)
+        corrupted = list(word)
+        corrupted[0] ^= 1
+        assert decoder.log_likelihood(3, corrupted) < exact

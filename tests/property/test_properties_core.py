@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for bits, channels, and the engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.core import FunctionalProtocol, run_protocol
+from repro.util.bits import (
+    bits_to_int,
+    hamming_distance,
+    int_to_bits,
+    majority_bit,
+    or_reduce,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=32)
+
+
+class TestBitProperties:
+    @given(value=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_int_bits_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    @given(bits=bit_lists)
+    def test_or_reduce_matches_builtin(self, bits):
+        assert or_reduce(bits) == (1 if any(bits) else 0)
+
+    @given(bits=bit_lists)
+    def test_majority_definition(self, bits):
+        expected = 1 if 2 * sum(bits) > len(bits) else 0
+        assert majority_bit(bits) == expected
+
+    @given(bits=bit_lists)
+    def test_hamming_distance_identity(self, bits):
+        assert hamming_distance(bits, bits) == 0
+
+    @given(a=bit_lists, b=bit_lists, c=bit_lists)
+    def test_hamming_triangle_inequality(self, a, b, c):
+        size = min(len(a), len(b), len(c))
+        a, b, c = a[:size], b[:size], c[:size]
+        assert hamming_distance(a, c) <= hamming_distance(
+            a, b
+        ) + hamming_distance(b, c)
+
+
+class TestChannelInvariants:
+    @given(bits=bit_lists, seed=st.integers(min_value=0, max_value=10**6))
+    def test_one_sided_never_suppresses(self, bits, seed):
+        channel = OneSidedNoiseChannel(0.49, rng=seed)
+        outcome = channel.transmit(bits)
+        if any(bits):
+            assert outcome.common == 1
+
+    @given(bits=bit_lists, seed=st.integers(min_value=0, max_value=10**6))
+    def test_suppression_never_creates(self, bits, seed):
+        channel = SuppressionNoiseChannel(0.49, rng=seed)
+        outcome = channel.transmit(bits)
+        if not any(bits):
+            assert outcome.common == 0
+
+    @given(
+        bits=bit_lists,
+        seed=st.integers(min_value=0, max_value=10**6),
+        epsilon=st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_correlated_views_always_agree(self, bits, seed, epsilon):
+        channel = CorrelatedNoiseChannel(epsilon, rng=seed)
+        outcome = channel.transmit(bits)
+        assert len(set(outcome.received)) == 1
+
+    @given(bits=bit_lists)
+    def test_noiseless_is_exact(self, bits):
+        outcome = NoiselessChannel().transmit(bits)
+        assert outcome.common == or_reduce(bits)
+        assert not outcome.noisy
+
+
+class TestEngineProperties:
+    @given(
+        table=st.lists(
+            st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=2),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_transcript_or_matches_sent_bits(self, table):
+        """For a fixed beep table the noiseless transcript is the row OR."""
+        length = len(table)
+        protocol = FunctionalProtocol(
+            n_parties=2,
+            length=length,
+            broadcast=lambda i, x, prefix: table[len(prefix)][i],
+            output=lambda i, x, received: tuple(received),
+        )
+        result = run_protocol(protocol, [None, None], NoiselessChannel())
+        expected = tuple(1 if any(row) else 0 for row in table)
+        assert result.transcript.common_view() == expected
+        assert result.rounds == length
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        epsilon=st.floats(min_value=0.0, max_value=0.45),
+    )
+    @settings(max_examples=25)
+    def test_execution_reproducible_from_seeds(self, seed, epsilon):
+        protocol = FunctionalProtocol(
+            n_parties=3,
+            length=6,
+            broadcast=lambda i, x, prefix: (x >> len(prefix)) & 1,
+            output=lambda i, x, received: tuple(received),
+        )
+        inputs = [5, 9, 18]
+        first = run_protocol(
+            protocol, inputs, CorrelatedNoiseChannel(epsilon, rng=seed)
+        )
+        second = run_protocol(
+            protocol, inputs, CorrelatedNoiseChannel(epsilon, rng=seed)
+        )
+        assert first.outputs == second.outputs
+        assert (
+            first.transcript.common_view()
+            == second.transcript.common_view()
+        )

@@ -1,0 +1,162 @@
+"""Property-based tests for the paper's lemmas and tasks."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import NoiselessChannel
+from repro.core import run_protocol
+from repro.core.formal import NoiseModel
+from repro.lowerbound import theory
+from repro.lowerbound.good_players import (
+    sample_unique_counts,
+    unique_input_players,
+)
+from repro.lowerbound.neighbors import differing_neighbors, neighbor_inputs
+from repro.tasks import InputSetTask, MaxIdTask, ParityTask
+
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLemmaB7:
+    """Lemma B.7: (Σa)²/Σb ≤ Σ a²/b for positive sequences."""
+
+    @given(
+        pairs=st.lists(
+            st.tuples(positive_floats, positive_floats),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_inequality_holds(self, pairs):
+        numerators = [a for a, _ in pairs]
+        denominators = [b for _, b in pairs]
+        gap = theory.cauchy_schwarz_ratio_gap(numerators, denominators)
+        assert gap >= -1e-9 * max(numerators) ** 2 / min(denominators)
+
+
+class TestLemmaB8:
+    @given(
+        k=st.integers(min_value=2, max_value=20),
+        multiplier=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_empirical_tail_below_bound(self, k, multiplier, seed):
+        universe = k * multiplier  # ensures k < |S|
+        counts = sample_unique_counts(k, universe, trials=400, rng=seed)
+        empirical = sum(1 for c in counts if c <= k / 3) / len(counts)
+        bound = theory.lemma_b8_probability_bound(k, universe)
+        # Allow sampling slack of 3 standard deviations.
+        slack = 3 * math.sqrt(0.25 / 400)
+        assert empirical <= bound + slack
+
+
+class TestInputSetProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_noiseless_protocol_always_correct(self, n, data):
+        task = InputSetTask(n)
+        inputs = [
+            data.draw(st.integers(min_value=1, max_value=2 * n))
+            for _ in range(n)
+        ]
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, NoiselessChannel()
+        )
+        assert task.is_correct(inputs, result.outputs)
+
+    @given(n=st.integers(min_value=1, max_value=6), data=st.data())
+    @settings(max_examples=40)
+    def test_unique_holders_match_sensitivity(self, n, data):
+        """A player is a unique holder iff every change of its input
+        changes L(x)."""
+        task = InputSetTask(n)
+        inputs = [
+            data.draw(st.integers(min_value=1, max_value=2 * n))
+            for _ in range(n)
+        ]
+        unique = task.unique_holders(inputs)
+        reference = frozenset(inputs)
+        for player in range(n):
+            fully_sensitive = all(
+                frozenset(neighbor) != reference
+                for neighbor in neighbor_inputs(inputs, task.universe)
+                if neighbor[player] != inputs[player]
+                and all(
+                    neighbor[j] == inputs[j]
+                    for j in range(n)
+                    if j != player
+                )
+            )
+            if player in unique:
+                assert fully_sensitive
+
+    @given(n=st.integers(min_value=2, max_value=6), data=st.data())
+    @settings(max_examples=30)
+    def test_differing_neighbors_change_output(self, n, data):
+        task = InputSetTask(n)
+        inputs = tuple(
+            data.draw(st.integers(min_value=1, max_value=2 * n))
+            for _ in range(n)
+        )
+        for neighbor in differing_neighbors(inputs, task.universe):
+            assert frozenset(neighbor) != frozenset(inputs)
+
+    @given(n=st.integers(min_value=1, max_value=8), data=st.data())
+    @settings(max_examples=30)
+    def test_unique_players_definition(self, n, data):
+        inputs = [
+            data.draw(st.integers(min_value=1, max_value=2 * n))
+            for _ in range(n)
+        ]
+        unique = unique_input_players(inputs)
+        for player in range(n):
+            others = [inputs[j] for j in range(n) if j != player]
+            assert (player in unique) == (inputs[player] not in others)
+
+
+class TestOtherTaskProperties:
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30)
+    def test_parity_protocol_always_correct(self, data, n):
+        task = ParityTask(n)
+        inputs = [data.draw(st.integers(0, 1)) for _ in range(n)]
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, NoiselessChannel()
+        )
+        assert task.is_correct(inputs, result.outputs)
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30)
+    def test_max_id_protocol_always_correct(self, n, seed):
+        task = MaxIdTask(n, id_bits=5)
+        inputs = task.sample_inputs(random.Random(seed))
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, NoiselessChannel()
+        )
+        assert result.outputs == [max(inputs)] * n
+
+
+class TestNoiseModelProperties:
+    @given(
+        up=st.floats(min_value=0.0, max_value=0.99),
+        down=st.floats(min_value=0.0, max_value=0.99),
+        or_value=st.integers(min_value=0, max_value=1),
+    )
+    def test_round_probabilities_normalise(self, up, down, or_value):
+        model = NoiseModel(up=up, down=down)
+        total = model.round_probability(or_value, 0) + model.round_probability(
+            or_value, 1
+        )
+        assert total == 1.0

@@ -1,0 +1,107 @@
+"""Property-based tests for the finding-owners phase (Theorem D.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import NoiselessChannel
+from repro.core import run_protocol
+from repro.core.formal import NoiseModel
+from repro.network import complete  # noqa: F401  (documents availability)
+from repro.simulation.owners import OwnersProtocol, build_owners_code
+
+NOISELESS = NoiseModel(up=0.0, down=0.0)
+
+beep_matrices = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=1), min_size=n, max_size=n
+        ),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+@st.composite
+def matrices_with_phantoms(draw):
+    """A beep matrix plus a transcript with extra (phantom) ones."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    bits = [
+        tuple(
+            draw(st.integers(min_value=0, max_value=1)) for _ in range(n)
+        )
+        for _ in range(n)
+    ]
+    pi = [max(column) for column in zip(*bits)]
+    # Flip some zeros of pi up (phantom ones nobody beeped).
+    for m in range(n):
+        if pi[m] == 0 and draw(st.booleans()):
+            pi[m] = 1
+    return bits, tuple(pi)
+
+
+class TestOwnersInvariants:
+    @given(bits=beep_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_noiseless_owners_consistent_valid_covering(self, bits):
+        n = len(bits)
+        bits = [tuple(row) for row in bits]
+        pi = tuple(max(column) for column in zip(*bits))
+        protocol = OwnersProtocol(n, pi, NOISELESS)
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        reference = result.outputs[0].owners
+        # Theorem D.1, deterministically over a noiseless channel:
+        assert all(out.owners == reference for out in result.outputs)
+        for position, owner in reference.items():
+            assert bits[owner][position] == 1
+        assert set(reference) == {m for m in range(n) if pi[m] == 1}
+
+    @given(data=matrices_with_phantoms())
+    @settings(max_examples=30, deadline=None)
+    def test_phantom_ones_stay_ownerless(self, data):
+        """A 1 in π that nobody beeped can never acquire an owner — the
+        detection property the verification phases build on (§2.1)."""
+        bits, pi = data
+        n = len(bits)
+        protocol = OwnersProtocol(n, pi, NOISELESS)
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        owners = result.outputs[0].owners
+        for position in range(n):
+            beeped = any(bits[i][position] for i in range(n))
+            if pi[position] == 1 and not beeped:
+                assert position not in owners
+            if pi[position] == 1 and beeped:
+                assert position in owners
+
+    @given(bits=beep_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_claimed_by_me_partitions_owned_rounds(self, bits):
+        """Each owned position is claimed by exactly its owner."""
+        n = len(bits)
+        bits = [tuple(row) for row in bits]
+        pi = tuple(max(column) for column in zip(*bits))
+        protocol = OwnersProtocol(n, pi, NOISELESS)
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        owners = result.outputs[0].owners
+        for position, owner in owners.items():
+            for party, output in enumerate(result.outputs):
+                if party == owner:
+                    assert position in output.claimed_by_me
+                else:
+                    assert position not in output.claimed_by_me
+
+    @given(
+        bits=beep_matrices,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_round_count_formula(self, bits, seed):
+        """The phase costs exactly (|J| + n) · L rounds."""
+        n = len(bits)
+        bits = [tuple(row) for row in bits]
+        pi = tuple(max(column) for column in zip(*bits))
+        code = build_owners_code(n, seed=seed)
+        protocol = OwnersProtocol(n, pi, NOISELESS, code=code)
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        ones = sum(pi)
+        assert result.rounds == (ones + n) * code.codeword_length

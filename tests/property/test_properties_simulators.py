@@ -1,0 +1,157 @@
+"""Property-based tests for the simulators and the lower-bound machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import NoiselessChannel
+from repro.core import FunctionalProtocol, run_protocol
+from repro.core.formal import FormalProtocol, NoiseModel
+from repro.lowerbound.feasible import feasible_set
+from repro.lowerbound.zeta import LowerBoundAnalyzer
+from repro.simulation import (
+    ChunkCommitSimulator,
+    HierarchicalSimulator,
+    RepetitionSimulator,
+    RewindSimulator,
+    SimulationParameters,
+)
+
+# A random non-adaptive 2-party protocol given by a beep table: the party
+# beeps table[round][party]; the output is the received transcript.
+beep_tables = st.lists(
+    st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=2),
+    min_size=1,
+    max_size=6,
+)
+
+# A random *adaptive* protocol: party beeps
+# table[round][party] XOR (last received bit), coupling beeps to the
+# transcript so replay correctness is genuinely exercised.
+def _make_adaptive_protocol(table):
+    length = len(table)
+
+    def broadcast(i, x, prefix):
+        base = table[len(prefix)][i]
+        last = prefix[-1] if prefix else 0
+        return base ^ last
+
+    return FunctionalProtocol(
+        n_parties=2,
+        length=length,
+        broadcast=broadcast,
+        output=lambda i, x, received: tuple(received),
+    )
+
+
+def _make_plain_protocol(table):
+    return FunctionalProtocol(
+        n_parties=2,
+        length=len(table),
+        broadcast=lambda i, x, prefix: table[len(prefix)][i],
+        output=lambda i, x, received: tuple(received),
+    )
+
+
+SIMULATORS = [
+    RepetitionSimulator(SimulationParameters(repetitions=3)),
+    ChunkCommitSimulator(
+        SimulationParameters(repetitions=3, verification_repetitions=3)
+    ),
+    HierarchicalSimulator(
+        SimulationParameters(repetitions=3, verification_repetitions=3)
+    ),
+    RewindSimulator(),
+]
+
+
+class TestNoiselessFaithfulness:
+    """Over a noiseless channel every simulator must reproduce the direct
+    execution's outputs exactly, for arbitrary protocols — the core
+    simulation contract."""
+
+    @given(table=beep_tables)
+    @settings(max_examples=15, deadline=None)
+    def test_plain_protocols(self, table):
+        protocol = _make_plain_protocol(table)
+        direct = run_protocol(protocol, [None, None], NoiselessChannel())
+        for simulator in SIMULATORS:
+            simulated = simulator.simulate(
+                protocol, [None, None], NoiselessChannel()
+            )
+            assert simulated.outputs == direct.outputs, type(
+                simulator
+            ).__name__
+
+    @given(table=beep_tables)
+    @settings(max_examples=15, deadline=None)
+    def test_adaptive_protocols(self, table):
+        protocol = _make_adaptive_protocol(table)
+        direct = run_protocol(protocol, [None, None], NoiselessChannel())
+        for simulator in SIMULATORS:
+            simulated = simulator.simulate(
+                protocol, [None, None], NoiselessChannel()
+            )
+            assert simulated.outputs == direct.outputs, type(
+                simulator
+            ).__name__
+
+
+class TestFeasibleSetProperties:
+    def _protocol(self):
+        # 2 parties, inputs in {0..3}; party beeps bit (x >> round) & 1.
+        return FormalProtocol(
+            n_parties=2,
+            length=2,
+            input_spaces=[range(4)] * 2,
+            broadcast=lambda i, x, prefix: (x >> len(prefix)) & 1,
+            output=lambda pi: tuple(pi),
+        )
+
+    @given(
+        prefix=st.lists(
+            st.integers(min_value=0, max_value=1), min_size=0, max_size=2
+        )
+    )
+    def test_monotone_under_extension(self, prefix):
+        """Extending the transcript can only shrink feasible sets."""
+        protocol = self._protocol()
+        for party in range(2):
+            longer = feasible_set(protocol, party, prefix)
+            shorter = feasible_set(protocol, party, prefix[:-1] or ())
+            assert set(longer) <= set(shorter)
+
+    @given(
+        prefix=st.lists(
+            st.integers(min_value=0, max_value=1), min_size=0, max_size=2
+        )
+    )
+    def test_ones_do_not_constrain(self, prefix):
+        """Replacing any 0 with a 1 in the prefix grows (or keeps) the
+        feasible set: only zeros rule inputs out."""
+        protocol = self._protocol()
+        all_ones = [1] * len(prefix)
+        for party in range(2):
+            constrained = feasible_set(protocol, party, prefix)
+            free = feasible_set(protocol, party, all_ones)
+            assert set(constrained) <= set(free)
+
+
+class TestZetaMassConservation:
+    @given(
+        up=st.floats(min_value=0.0, max_value=0.45),
+        down=st.floats(min_value=0.0, max_value=0.45),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_total_probability_is_one(self, up, down):
+        protocol = FormalProtocol(
+            n_parties=2,
+            length=2,
+            input_spaces=[(0, 1)] * 2,
+            broadcast=lambda i, x, prefix: x if len(prefix) == i else 0,
+            output=lambda pi: tuple(pi),
+        )
+        analyzer = LowerBoundAnalyzer(
+            protocol, NoiseModel(up=up, down=down)
+        )
+        summary = analyzer.summary()
+        assert abs(summary.total_mass - 1.0) < 1e-9

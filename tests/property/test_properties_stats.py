@@ -1,0 +1,129 @@
+"""Property-based tests for channel statistics and analysis invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ProportionEstimate, wilson_interval
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    SuppressionNoiseChannel,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.base import infer_noise_model
+
+bit_rows = st.lists(
+    st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=3),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestChannelStatsInvariants:
+    @given(
+        rows=bit_rows,
+        epsilon=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40)
+    def test_correlated_counter_bounds(self, rows, epsilon, seed):
+        channel = CorrelatedNoiseChannel(epsilon, rng=seed)
+        for row in rows:
+            channel.transmit(row)
+        stats = channel.stats
+        assert stats.rounds == len(rows)
+        assert stats.beeps_sent == sum(sum(row) for row in rows)
+        assert stats.or_ones == sum(1 for row in rows if any(row))
+        # Correlated: at most one flip event per round, per direction.
+        assert stats.flips_up <= stats.rounds - stats.or_ones
+        assert stats.flips_down <= stats.or_ones
+        assert 0.0 <= stats.empirical_flip_rate <= 1.0
+
+    @given(
+        rows=bit_rows,
+        epsilon=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30)
+    def test_independent_counter_bounds(self, rows, epsilon, seed):
+        channel = IndependentNoiseChannel(epsilon, rng=seed)
+        for row in rows:
+            channel.transmit(row)
+        stats = channel.stats
+        # Independent noise counts per-party receptions.
+        assert stats.flips <= stats.rounds * 3
+
+    @given(
+        rows=bit_rows,
+        epsilon=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30)
+    def test_suppression_never_flips_up(self, rows, epsilon, seed):
+        channel = SuppressionNoiseChannel(epsilon, rng=seed)
+        for row in rows:
+            channel.transmit(row)
+        assert channel.stats.flips_up == 0
+
+    @given(rows=bit_rows)
+    @settings(max_examples=20)
+    def test_noiseless_never_flips(self, rows):
+        channel = NoiselessChannel()
+        for row in rows:
+            channel.transmit(row)
+        assert channel.stats.flips == 0
+
+    @given(rows=bit_rows, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_snapshot_deltas_add_up(self, rows, seed):
+        channel = CorrelatedNoiseChannel(0.3, rng=seed)
+        midpoint = len(rows) // 2
+        for row in rows[:midpoint]:
+            channel.transmit(row)
+        snapshot = channel.stats.snapshot()
+        for row in rows[midpoint:]:
+            channel.transmit(row)
+        assert channel.stats.rounds == snapshot.rounds + (
+            len(rows) - midpoint
+        )
+        assert channel.stats.flips >= snapshot.flips
+
+
+class TestWilsonProperties:
+    @given(
+        successes=st.integers(min_value=0, max_value=200),
+        extra=st.integers(min_value=0, max_value=200),
+    )
+    def test_interval_contains_point_estimate(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        proportion = successes / trials
+        assert low - 1e-12 <= proportion <= high + 1e-12
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(
+        successes=st.integers(min_value=0, max_value=50),
+        trials=st.integers(min_value=1, max_value=50),
+    )
+    def test_estimate_str_is_stable(self, successes, trials):
+        if successes > trials:
+            return
+        estimate = ProportionEstimate(successes, trials)
+        assert f"{successes}/{trials}" in str(estimate)
+
+
+class TestInferNoiseModelFailure:
+    def test_scripted_channel_needs_explicit_model(self):
+        from repro.channels import ScriptedChannel
+
+        try:
+            infer_noise_model(ScriptedChannel(flip_rounds=[0]))
+        except ConfigurationError:
+            pass
+        else:  # pragma: no cover - would be a bug
+            raise AssertionError(
+                "scripted noise has no stochastic law to infer"
+            )

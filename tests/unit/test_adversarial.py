@@ -1,0 +1,111 @@
+"""Unit tests for the budgeted adversary channel."""
+
+import pytest
+
+from repro.channels import BudgetedAdversaryChannel
+from repro.channels.adversarial import (
+    flip_ones_strategy,
+    flip_zeros_strategy,
+    periodic_strategy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStrategies:
+    def test_flip_zeros_targets_silence(self):
+        assert flip_zeros_strategy(0, 0, 5)
+        assert not flip_zeros_strategy(0, 1, 5)
+
+    def test_flip_ones_targets_beeps(self):
+        assert flip_ones_strategy(0, 1, 5)
+        assert not flip_ones_strategy(0, 0, 5)
+
+    def test_periodic(self):
+        strategy = periodic_strategy(3)
+        assert strategy(0, 0, 5)
+        assert not strategy(1, 0, 5)
+        assert not strategy(2, 1, 5)
+        assert strategy(3, 1, 5)
+
+    def test_periodic_validation(self):
+        with pytest.raises(ConfigurationError):
+            periodic_strategy(0)
+
+
+class TestBudgetedAdversaryChannel:
+    def test_budget_enforced(self):
+        channel = BudgetedAdversaryChannel(budget=2)
+        flips = sum(
+            channel.transmit((0, 0)).common for _ in range(10)
+        )
+        assert flips == 2
+        assert channel.flips_remaining == 0
+
+    def test_zero_budget_is_noiseless(self):
+        channel = BudgetedAdversaryChannel(budget=0)
+        for _ in range(20):
+            assert channel.transmit((1, 0)).common == 1
+            assert channel.transmit((0, 0)).common == 0
+
+    def test_flip_ones_strategy_suppresses(self):
+        channel = BudgetedAdversaryChannel(
+            budget=1, strategy=flip_ones_strategy
+        )
+        assert channel.transmit((0, 0)).common == 0  # not its target
+        assert channel.transmit((1, 0)).common == 0  # spent here
+        assert channel.transmit((1, 0)).common == 1  # budget gone
+
+    def test_periodic_spends_on_schedule(self):
+        channel = BudgetedAdversaryChannel(
+            budget=10, strategy=periodic_strategy(2)
+        )
+        received = [channel.transmit((0,)).common for _ in range(6)]
+        assert received == [1, 0, 1, 0, 1, 0]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetedAdversaryChannel(budget=-1)
+
+    def test_views_correlated(self):
+        channel = BudgetedAdversaryChannel(budget=3)
+        for _ in range(10):
+            outcome = channel.transmit((0, 1, 0))
+            assert len(set(outcome.received)) == 1
+
+
+class TestAdversaryVsProtocols:
+    def test_zero_flipper_destroys_naive_input_set(self):
+        """A budget of 1, spent on a silent round, corrupts L(x) for the
+        unprotected protocol — deterministically."""
+        from repro.core import run_protocol
+        from repro.tasks import InputSetTask
+
+        task = InputSetTask(3)
+        inputs = [1, 2, 3]
+        channel = BudgetedAdversaryChannel(
+            budget=1, strategy=flip_zeros_strategy
+        )
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, channel
+        )
+        assert not task.is_correct(inputs, result.outputs)
+
+    def test_chunk_simulator_survives_small_budgets(self):
+        """A sub-logarithmic adversary budget cannot beat the repetition
+        margins: the chunk scheme still wins."""
+        from repro.core.formal import NoiseModel
+        from repro.simulation import ChunkCommitSimulator
+        from repro.tasks import InputSetTask
+
+        task = InputSetTask(4)
+        inputs = [1, 3, 5, 7]
+        simulator = ChunkCommitSimulator(
+            noise_model=NoiseModel.two_sided(0.2)
+        )
+        channel = BudgetedAdversaryChannel(
+            budget=3, strategy=flip_zeros_strategy
+        )
+        result = simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+        assert task.is_correct(inputs, result.outputs)

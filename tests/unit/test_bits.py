@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.util.bits`."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.util.bits import (
+    bits_to_int,
+    hamming_distance,
+    int_to_bits,
+    majority_bit,
+    or_reduce,
+    validate_bit,
+    validate_bits,
+)
+
+
+class TestValidateBit:
+    def test_accepts_zero_and_one(self):
+        assert validate_bit(0) == 0
+        assert validate_bit(1) == 1
+
+    def test_accepts_booleans(self):
+        assert validate_bit(True) == 1
+        assert validate_bit(False) == 0
+
+    def test_rejects_other_integers(self):
+        with pytest.raises(ChannelError):
+            validate_bit(2)
+        with pytest.raises(ChannelError):
+            validate_bit(-1)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ChannelError):
+            validate_bit(0.5)
+        with pytest.raises(ChannelError):
+            validate_bit("1")
+        with pytest.raises(ChannelError):
+            validate_bit(None)
+
+
+class TestValidateBits:
+    def test_returns_tuple(self):
+        assert validate_bits([1, 0, True]) == (1, 0, 1)
+
+    def test_empty_is_empty_tuple(self):
+        assert validate_bits([]) == ()
+
+    def test_propagates_errors(self):
+        with pytest.raises(ChannelError):
+            validate_bits([0, 3])
+
+
+class TestOrReduce:
+    def test_empty_is_zero(self):
+        assert or_reduce([]) == 0
+
+    def test_all_zero(self):
+        assert or_reduce([0, 0, 0]) == 0
+
+    def test_single_one(self):
+        assert or_reduce([0, 1, 0]) == 1
+
+    def test_all_ones(self):
+        assert or_reduce([1, 1]) == 1
+
+
+class TestMajorityBit:
+    def test_clear_majority_one(self):
+        assert majority_bit([1, 1, 0]) == 1
+
+    def test_clear_majority_zero(self):
+        assert majority_bit([1, 0, 0]) == 0
+
+    def test_tie_goes_to_zero(self):
+        assert majority_bit([1, 0]) == 0
+        assert majority_bit([1, 1, 0, 0]) == 0
+
+    def test_empty_is_zero(self):
+        assert majority_bit([]) == 0
+
+    def test_single_vote(self):
+        assert majority_bit([1]) == 1
+        assert majority_bit([0]) == 0
+
+
+class TestHammingDistance:
+    def test_identical_words(self):
+        assert hamming_distance((1, 0, 1), (1, 0, 1)) == 0
+
+    def test_opposite_words(self):
+        assert hamming_distance((0, 0), (1, 1)) == 2
+
+    def test_partial_difference(self):
+        assert hamming_distance((1, 0, 1, 0), (1, 1, 1, 1)) == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ChannelError):
+            hamming_distance((1,), (1, 0))
+
+
+class TestIntBitsRoundTrip:
+    def test_known_encoding(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+
+    def test_known_decoding(self):
+        assert bits_to_int((0, 1, 0, 1)) == 5
+
+    def test_round_trip_all_values(self):
+        for value in range(16):
+            assert bits_to_int(int_to_bits(value, 4)) == value
+
+    def test_zero_width_zero(self):
+        assert int_to_bits(0, 1) == (0,)
+
+    def test_overflow_raises(self):
+        with pytest.raises(ChannelError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ChannelError):
+            int_to_bits(-1, 4)
+
+    def test_bits_to_int_validates(self):
+        with pytest.raises(ChannelError):
+            bits_to_int((1, 2))
+
+    def test_msb_first_convention(self):
+        assert int_to_bits(8, 4) == (1, 0, 0, 0)
+        assert bits_to_int((1, 0, 0, 0)) == 8

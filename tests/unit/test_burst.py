@@ -1,0 +1,89 @@
+"""Unit tests for the Gilbert–Elliott burst-noise channel."""
+
+import pytest
+
+from repro.channels import BurstNoiseChannel
+from repro.errors import ConfigurationError
+from repro.simulation.base import infer_noise_model
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel(1.0, 0.5, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel(0.0, 1.5, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel(0.0, 0.5, 0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel(0.0, 0.5, 0.1, 1.5)
+
+    def test_stationary_quantities(self):
+        channel = BurstNoiseChannel(0.0, 0.5, p_enter=0.1, p_exit=0.1)
+        assert channel.stationary_bad_probability == pytest.approx(0.5)
+        assert channel.stationary_flip_rate == pytest.approx(0.25)
+
+    def test_matched_to_targets_average(self):
+        channel = BurstNoiseChannel.matched_to(0.15, burst_length=8, rng=0)
+        assert channel.stationary_flip_rate == pytest.approx(0.15)
+        assert channel.p_exit == pytest.approx(1 / 8)
+
+    def test_matched_to_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel.matched_to(0.6, burst_length=8)  # > eps_bad
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel.matched_to(0.1, burst_length=0.5)
+        with pytest.raises(ConfigurationError):
+            BurstNoiseChannel.matched_to(
+                0.1, burst_length=8, epsilon_good=0.1
+            )
+
+
+class TestBehaviour:
+    def test_empirical_average_matches_stationary(self):
+        channel = BurstNoiseChannel.matched_to(0.2, burst_length=10, rng=1)
+        rounds = 30_000
+        flips = sum(channel.transmit((0, 0)).common for _ in range(rounds))
+        assert flips / rounds == pytest.approx(0.2, abs=0.02)
+
+    def test_flips_are_bursty(self):
+        """Flips cluster: the number of flip runs is far below what an
+        i.i.d. channel at the same average rate would produce."""
+        channel = BurstNoiseChannel.matched_to(
+            0.2, burst_length=20, epsilon_bad=0.9, rng=2
+        )
+        rounds = 20_000
+        flips = [channel.transmit((0,)).common for _ in range(rounds)]
+        runs = sum(
+            1
+            for i in range(1, rounds)
+            if flips[i] == 1 and flips[i - 1] == 0
+        )
+        total = sum(flips)
+        # i.i.d. would give runs ~ total*(1-rate); bursty gives far fewer.
+        assert total > 0
+        assert runs < 0.5 * total * (1 - 0.2)
+
+    def test_views_correlated(self):
+        channel = BurstNoiseChannel(0.1, 0.5, 0.1, 0.1, rng=3)
+        for _ in range(200):
+            outcome = channel.transmit((1, 0, 0))
+            assert len(set(outcome.received)) == 1
+
+    def test_burst_rounds_counter(self):
+        channel = BurstNoiseChannel(0.0, 0.5, p_enter=0.5, p_exit=0.1, rng=4)
+        for _ in range(500):
+            channel.transmit((0,))
+        assert channel.burst_rounds > 100
+
+    def test_noise_model_inference_uses_stationary_rate(self):
+        channel = BurstNoiseChannel.matched_to(0.15, burst_length=8, rng=5)
+        model = infer_noise_model(channel)
+        assert model.up == pytest.approx(0.15)
+        assert model.down == pytest.approx(0.15)
+
+    def test_reproducible(self):
+        a = BurstNoiseChannel.matched_to(0.2, 8, rng=9)
+        b = BurstNoiseChannel.matched_to(0.2, 8, rng=9)
+        for _ in range(100):
+            assert a.transmit((0,)).common == b.transmit((0,)).common

@@ -1,0 +1,254 @@
+"""Unit tests for the channel substrate."""
+
+import pytest
+
+from repro.channels import (
+    CorrectingAdversaryChannel,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    SharedFlipReductionChannel,
+    SuppressionNoiseChannel,
+)
+from repro.errors import ChannelError, ConfigurationError, TranscriptError
+
+TRIALS = 4000
+
+
+def _frequency(channel, bits, trials=TRIALS):
+    """Empirical Pr[received = 1] for a fixed beep pattern."""
+    return sum(channel.transmit(bits).common for _ in range(trials)) / trials
+
+
+class TestNoiselessChannel:
+    def test_or_delivered(self):
+        channel = NoiselessChannel()
+        assert channel.transmit((0, 0, 0)).common == 0
+        assert channel.transmit((0, 1, 0)).common == 1
+        assert channel.transmit((1, 1, 1)).common == 1
+
+    def test_per_party_views_equal(self):
+        outcome = NoiselessChannel().transmit((1, 0, 0, 0))
+        assert outcome.received == (1, 1, 1, 1)
+
+    def test_never_noisy(self):
+        channel = NoiselessChannel()
+        for _ in range(100):
+            assert not channel.transmit((0, 1)).noisy
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChannelError):
+            NoiselessChannel().transmit(())
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ChannelError):
+            NoiselessChannel().transmit((0, 2))
+
+
+class TestCorrelatedNoiseChannel:
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedNoiseChannel(-0.1)
+        with pytest.raises(ConfigurationError):
+            CorrelatedNoiseChannel(1.0)
+
+    def test_zero_epsilon_is_noiseless(self):
+        channel = CorrelatedNoiseChannel(0.0, rng=0)
+        for _ in range(200):
+            assert channel.transmit((1, 0)).common == 1
+            assert channel.transmit((0, 0)).common == 0
+
+    def test_flip_rate_on_silence(self):
+        channel = CorrelatedNoiseChannel(0.25, rng=0)
+        rate = _frequency(channel, (0, 0, 0))
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+    def test_flip_rate_on_beep(self):
+        channel = CorrelatedNoiseChannel(0.25, rng=1)
+        rate = _frequency(channel, (1, 0, 0))
+        assert rate == pytest.approx(0.75, abs=0.03)
+
+    def test_views_always_agree(self):
+        channel = CorrelatedNoiseChannel(0.5 - 1e-9, rng=2)
+        for _ in range(100):
+            outcome = channel.transmit((1, 0, 1))
+            assert len(set(outcome.received)) == 1
+
+    def test_reproducible_from_seed(self):
+        a = CorrelatedNoiseChannel(0.3, rng=9)
+        b = CorrelatedNoiseChannel(0.3, rng=9)
+        for _ in range(50):
+            assert a.transmit((0,)).common == b.transmit((0,)).common
+
+
+class TestOneSidedNoiseChannel:
+    def test_ones_never_flipped(self):
+        channel = OneSidedNoiseChannel(0.49, rng=0)
+        for _ in range(300):
+            assert channel.transmit((1, 0)).common == 1
+
+    def test_zero_flip_rate(self):
+        channel = OneSidedNoiseChannel(1.0 / 3.0, rng=0)
+        rate = _frequency(channel, (0, 0))
+        assert rate == pytest.approx(1.0 / 3.0, abs=0.03)
+
+    def test_received_zero_is_trustworthy(self):
+        channel = OneSidedNoiseChannel(0.4, rng=3)
+        for _ in range(300):
+            outcome = channel.transmit((0, 1, 0))
+            assert outcome.common == 1  # someone beeped -> always 1
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            OneSidedNoiseChannel(1.5)
+
+
+class TestSuppressionNoiseChannel:
+    def test_zeros_never_flipped(self):
+        channel = SuppressionNoiseChannel(0.49, rng=0)
+        for _ in range(300):
+            assert channel.transmit((0, 0)).common == 0
+
+    def test_one_suppression_rate(self):
+        channel = SuppressionNoiseChannel(0.2, rng=1)
+        rate = _frequency(channel, (1, 1))
+        assert rate == pytest.approx(0.8, abs=0.03)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            SuppressionNoiseChannel(-0.01)
+
+
+class TestIndependentNoiseChannel:
+    def test_marked_uncorrelated(self):
+        assert IndependentNoiseChannel(0.1).correlated is False
+
+    def test_views_can_diverge(self):
+        channel = IndependentNoiseChannel(0.5 - 1e-9, rng=0)
+        diverged = any(
+            len(set(channel.transmit((0,) * 8).received)) > 1
+            for _ in range(50)
+        )
+        assert diverged
+
+    def test_common_raises_on_divergence(self):
+        channel = IndependentNoiseChannel(0.5 - 1e-9, rng=1)
+        with pytest.raises(TranscriptError):
+            for _ in range(200):
+                channel.transmit((0,) * 8).common
+
+    def test_per_party_flip_rate(self):
+        channel = IndependentNoiseChannel(0.2, rng=2)
+        trials = 3000
+        flips = sum(
+            sum(channel.transmit((0, 0, 0)).received) for _ in range(trials)
+        )
+        assert flips / (3 * trials) == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_epsilon_views_agree(self):
+        channel = IndependentNoiseChannel(0.0, rng=3)
+        outcome = channel.transmit((1, 0))
+        assert outcome.received == (1, 1)
+
+
+class TestCorrectingAdversaryChannel:
+    def test_default_policy_yields_one_sided(self):
+        channel = CorrectingAdversaryChannel(0.3, rng=0)
+        for _ in range(300):
+            assert channel.transmit((1, 0)).common == 1
+
+    def test_zero_flips_still_happen(self):
+        channel = CorrectingAdversaryChannel(0.3, rng=1)
+        rate = _frequency(channel, (0, 0))
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_policy_must_not_introduce_errors(self):
+        with pytest.raises(ConfigurationError):
+            CorrectingAdversaryChannel(0.1, policy=lambda orv, rec: 1 - orv)
+
+    def test_policy_output_must_be_bit_choice(self):
+        with pytest.raises(ConfigurationError):
+            CorrectingAdversaryChannel(
+                0.1, policy=lambda orv, rec: orv if orv == rec else 2
+            )
+
+    def test_identity_policy_is_plain_two_sided(self):
+        channel = CorrectingAdversaryChannel(
+            0.25, policy=lambda orv, rec: rec, rng=4
+        )
+        rate = _frequency(channel, (1, 1))
+        assert rate == pytest.approx(0.75, abs=0.03)
+
+
+class TestSharedFlipReductionChannel:
+    def test_emulated_epsilon_defaults(self):
+        channel = SharedFlipReductionChannel(rng=0)
+        down, up = channel.emulated_epsilon
+        assert down == pytest.approx(0.25)
+        assert up == pytest.approx(0.25)
+
+    def test_silence_flip_rate_matches_quarter(self):
+        channel = SharedFlipReductionChannel(rng=1)
+        rate = _frequency(channel, (0, 0, 0), trials=6000)
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+    def test_beep_suppression_rate_matches_quarter(self):
+        channel = SharedFlipReductionChannel(rng=2)
+        rate = _frequency(channel, (1, 0, 0), trials=6000)
+        assert rate == pytest.approx(0.75, abs=0.03)
+
+    def test_p_down_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedFlipReductionChannel(p_down=1.0)
+
+    def test_views_agree(self):
+        channel = SharedFlipReductionChannel(rng=3)
+        for _ in range(100):
+            assert len(set(channel.transmit((1, 0)).received)) == 1
+
+
+class TestChannelStats:
+    def test_round_and_beep_counting(self):
+        channel = NoiselessChannel()
+        channel.transmit((1, 1, 0))
+        channel.transmit((0, 0, 0))
+        assert channel.stats.rounds == 2
+        assert channel.stats.beeps_sent == 2
+        assert channel.stats.or_ones == 1
+
+    def test_flip_counting_correlated(self):
+        channel = CorrelatedNoiseChannel(0.5 - 1e-9, rng=0)
+        for _ in range(500):
+            channel.transmit((0, 0))
+        stats = channel.stats
+        assert stats.flips_down == 0
+        assert 150 < stats.flips_up < 350  # ~50% of 500
+        assert stats.flips == stats.flips_up
+
+    def test_empirical_flip_rate(self):
+        channel = CorrelatedNoiseChannel(0.3, rng=1)
+        for _ in range(2000):
+            channel.transmit((0,))
+        assert channel.stats.empirical_flip_rate == pytest.approx(
+            0.3, abs=0.04
+        )
+
+    def test_reset(self):
+        channel = NoiselessChannel()
+        channel.transmit((1,))
+        channel.reset_stats()
+        assert channel.stats.rounds == 0
+        assert channel.stats.beeps_sent == 0
+
+    def test_snapshot_is_independent(self):
+        channel = NoiselessChannel()
+        channel.transmit((1,))
+        snapshot = channel.stats.snapshot()
+        channel.transmit((1,))
+        assert snapshot.rounds == 1
+        assert channel.stats.rounds == 2
+
+    def test_empty_stats_rate_is_zero(self):
+        channel = NoiselessChannel()
+        assert channel.stats.empirical_flip_rate == 0.0

@@ -1,0 +1,194 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.task == "input-set"
+        assert args.simulator == "chunk"
+        assert args.epsilon == 0.1
+
+    def test_overhead_ns_list(self):
+        args = build_parser().parse_args(["overhead", "--ns", "4", "8"])
+        assert args.ns == [4, 8]
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--simulator", "bogus"])
+
+
+class TestInfo:
+    def test_info_prints_summary(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Noisy Beeps" in out
+        assert "Theta(log n)" in out
+
+
+class TestDemo:
+    def test_demo_succeeds_with_simulator(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--task",
+                "parity",
+                "--n",
+                "4",
+                "--epsilon",
+                "0.1",
+                "--trials",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "success: 5/5" in out
+
+    def test_demo_raw_over_noise_fails(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--task",
+                "input-set",
+                "--n",
+                "6",
+                "--simulator",
+                "none",
+                "--epsilon",
+                "0.3",
+                "--trials",
+                "8",
+            ]
+        )
+        assert code == 1  # unprotected protocol loses most trials
+
+    def test_demo_noiseless_channel(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--channel",
+                "noiseless",
+                "--simulator",
+                "none",
+                "--n",
+                "4",
+                "--trials",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "task", ["or", "max-id", "bit-exchange", "size-estimate"]
+    )
+    def test_demo_all_tasks_run(self, task, capsys):
+        code = main(
+            [
+                "demo",
+                "--task",
+                task,
+                "--n",
+                "4",
+                "--simulator",
+                "repetition",
+                "--trials",
+                "3",
+            ]
+        )
+        assert code in (0, 1)
+        assert "success" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "simulator,channel",
+        [
+            ("hierarchical", "correlated"),
+            ("rewind", "suppression"),
+        ],
+    )
+    def test_demo_other_simulators(self, simulator, channel, capsys):
+        code = main(
+            [
+                "demo",
+                "--task",
+                "parity",
+                "--n",
+                "4",
+                "--simulator",
+                simulator,
+                "--channel",
+                channel,
+                "--trials",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "success" in capsys.readouterr().out
+
+    def test_demo_burst_channel(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--channel",
+                "burst",
+                "--task",
+                "parity",
+                "--n",
+                "4",
+                "--trials",
+                "3",
+            ]
+        )
+        assert code == 0
+
+
+class TestOverhead:
+    def test_overhead_prints_fit(self, capsys):
+        code = main(
+            [
+                "overhead",
+                "--ns",
+                "4",
+                "8",
+                "--trials",
+                "2",
+                "--simulator",
+                "repetition",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fit: overhead" in out
+        assert "log2(n)" in out
+
+    def test_single_n_skips_fit(self, capsys):
+        code = main(
+            [
+                "overhead",
+                "--ns",
+                "4",
+                "--trials",
+                "2",
+                "--simulator",
+                "repetition",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fit:" not in out
+
+
+class TestExperiments:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for identifier in [f"E{i}" for i in range(1, 14)]:
+            assert identifier in out
+        assert "--benchmark-only" in out

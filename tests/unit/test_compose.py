@@ -1,0 +1,292 @@
+"""Unit tests for protocol combinators and energy accounting."""
+
+import pytest
+
+from repro.channels import NoiselessChannel, ScriptedChannel
+from repro.core import (
+    FunctionalProtocol,
+    SequentialProtocol,
+    TruncatedProtocol,
+    announce_input,
+    run_protocol,
+)
+from repro.errors import ConfigurationError
+from repro.tasks import InputSetTask, ParityTask
+from repro.util.bits import bits_to_int
+
+
+def _constant_protocol(n, length, output_value):
+    return FunctionalProtocol(
+        n_parties=n,
+        length=length,
+        broadcast=lambda i, x, p: 0,
+        output=lambda i, x, r: output_value,
+    )
+
+
+class TestAnnounceInput:
+    def test_prefix_carries_the_input(self):
+        task = InputSetTask(3)
+        protocol = announce_input(
+            task.noiseless_protocol(), announcer=1, width=4
+        )
+        inputs = [2, 5, 6]
+        result = run_protocol(protocol, inputs, NoiselessChannel())
+        prefix, inner_output = result.outputs[0]
+        assert bits_to_int(prefix) == 5
+        assert inner_output == frozenset(inputs)
+
+    def test_length_grows_by_width(self):
+        task = ParityTask(2)
+        protocol = announce_input(
+            task.noiseless_protocol(), announcer=0, width=3
+        )
+        assert protocol.length() == 2 + 3
+
+    def test_only_announcer_beeps_in_prefix(self):
+        task = ParityTask(3)
+        protocol = announce_input(
+            task.noiseless_protocol(), announcer=2, width=2
+        )
+        result = run_protocol(protocol, [1, 1, 1], NoiselessChannel())
+        for round_index in range(2):
+            sent = result.transcript[round_index].sent
+            assert sent[0] == 0 and sent[1] == 0
+
+    def test_transcript_determines_announcer_output(self):
+        """The WLOG property: after announcing, the announcer's input is
+        readable from the common transcript."""
+        task = InputSetTask(2)
+        protocol = announce_input(
+            task.noiseless_protocol(), announcer=0, width=3
+        )
+        inputs = [3, 1]
+        result = run_protocol(protocol, inputs, NoiselessChannel())
+        view = result.transcript.common_view()
+        assert bits_to_int(view[:3]) == 3
+
+    def test_validation(self):
+        task = ParityTask(2)
+        with pytest.raises(ConfigurationError):
+            announce_input(task.noiseless_protocol(), width=None)
+        with pytest.raises(ConfigurationError):
+            announce_input(task.noiseless_protocol(), announcer=5, width=2)
+        with pytest.raises(ConfigurationError):
+            announce_input(task.noiseless_protocol(), width=0)
+
+
+class TestSequentialProtocol:
+    def test_outputs_pair_up(self):
+        first = _constant_protocol(2, 1, "a")
+        second = _constant_protocol(2, 2, "b")
+        combined = SequentialProtocol(first, second)
+        result = run_protocol(combined, [None, None], NoiselessChannel())
+        assert result.outputs == [("a", "b"), ("a", "b")]
+        assert result.rounds == 3
+
+    def test_length_adds(self):
+        combined = SequentialProtocol(
+            _constant_protocol(2, 3, None), _constant_protocol(2, 4, None)
+        )
+        assert combined.length() == 7
+
+    def test_party_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            SequentialProtocol(
+                _constant_protocol(2, 1, None),
+                _constant_protocol(3, 1, None),
+            )
+
+    def test_real_tasks_compose(self):
+        task = ParityTask(3)
+        combined = SequentialProtocol(
+            task.noiseless_protocol(), task.noiseless_protocol()
+        )
+        result = run_protocol(combined, [1, 0, 1], NoiselessChannel())
+        first, second = result.outputs[0]
+        assert first == second == 0
+
+
+class TestTruncatedProtocol:
+    def test_within_budget_is_transparent(self):
+        task = ParityTask(3)
+        truncated = TruncatedProtocol(task.noiseless_protocol(), 10)
+        result = run_protocol(truncated, [1, 1, 0], NoiselessChannel())
+        assert result.outputs == [0, 0, 0]
+        assert result.rounds == 3
+
+    def test_truncation_returns_prefix(self):
+        task = ParityTask(4)
+        truncated = TruncatedProtocol(task.noiseless_protocol(), 2)
+        result = run_protocol(truncated, [1, 0, 1, 1], NoiselessChannel())
+        assert result.rounds == 2
+        assert result.outputs[0] == (1, 0)
+
+    def test_zero_budget(self):
+        task = ParityTask(2)
+        truncated = TruncatedProtocol(task.noiseless_protocol(), 0)
+        result = run_protocol(truncated, [1, 1], NoiselessChannel())
+        assert result.rounds == 0
+        assert result.outputs == [(), ()]
+
+    def test_length_metadata(self):
+        task = ParityTask(5)
+        assert TruncatedProtocol(task.noiseless_protocol(), 3).length() == 3
+        assert TruncatedProtocol(task.noiseless_protocol(), 9).length() == 5
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedProtocol(_constant_protocol(1, 1, None), -1)
+
+
+class TestEnergyAccounting:
+    def test_beeps_per_party_counted(self):
+        task = ParityTask(3)
+        result = run_protocol(
+            task.noiseless_protocol(), [1, 0, 1], NoiselessChannel()
+        )
+        assert result.beeps_per_party == (1, 0, 1)
+        assert result.total_energy == 2
+
+    def test_input_set_energy_one_each(self, rng):
+        task = InputSetTask(5)
+        inputs = task.sample_inputs(rng)
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, NoiselessChannel()
+        )
+        assert result.beeps_per_party == (1,) * 5
+
+    def test_simulation_energy_overhead(self, rng):
+        """Noise resilience costs energy too: the chunk scheme's owners
+        phase makes parties beep far more than once."""
+        from repro.channels import CorrelatedNoiseChannel
+        from repro.simulation import ChunkCommitSimulator
+
+        task = InputSetTask(4)
+        inputs = task.sample_inputs(rng)
+        result = ChunkCommitSimulator().simulate(
+            task.noiseless_protocol(),
+            inputs,
+            CorrelatedNoiseChannel(0.1, rng=0),
+        )
+        assert result.total_energy > 4
+
+
+class TestScriptedChannel:
+    def test_flip_rounds(self):
+        channel = ScriptedChannel(flip_rounds=[1, 2])
+        assert channel.transmit((0, 0)).common == 0
+        assert channel.transmit((0, 0)).common == 1  # scripted 0->1 flip
+        assert channel.transmit((1, 0)).common == 0  # scripted 1->0 flip
+        assert channel.transmit((1, 0)).common == 1  # no flip scheduled
+        assert channel.rounds_elapsed == 4
+
+    def test_pattern(self):
+        channel = ScriptedChannel(pattern=(1, 0, 1))
+        assert channel.transmit((0,)).common == 1
+        assert channel.transmit((0,)).common == 0
+        assert channel.transmit((1,)).common == 0
+        # Beyond the pattern: clean.
+        assert channel.transmit((0,)).common == 0
+
+    def test_one_sided_up_suppresses_down_flips(self):
+        channel = ScriptedChannel(flip_rounds=[0, 1], one_sided_up=True)
+        assert channel.transmit((1, 0)).common == 1  # flip suppressed
+        assert channel.transmit((0, 0)).common == 1  # 0->1 allowed
+
+    def test_one_sided_down(self):
+        channel = ScriptedChannel(flip_rounds=[0, 1], one_sided_down=True)
+        assert channel.transmit((0,)).common == 0  # 0->1 blocked
+        assert channel.transmit((1,)).common == 0  # 1->0 allowed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedChannel()
+        with pytest.raises(ConfigurationError):
+            ScriptedChannel(flip_rounds=[0], pattern=(1,))
+        with pytest.raises(ConfigurationError):
+            ScriptedChannel(flip_rounds=[-1])
+        with pytest.raises(ConfigurationError):
+            ScriptedChannel(
+                flip_rounds=[0], one_sided_up=True, one_sided_down=True
+            )
+
+
+class TestScriptedFaultInjection:
+    """Deterministic fault-injection through the simulators."""
+
+    def test_single_flip_causes_exactly_one_retry(self, rng):
+        """Flip one round inside the first chunk's simulation phase; the
+        majority still decodes correctly if repetitions > 2, so pick
+        repetitions=1 to force a wrong chunk, and watch the verification
+        catch it: attempts == commits + 1."""
+        from repro.core.formal import NoiseModel
+        from repro.simulation import (
+            ChunkCommitSimulator,
+            SimulationParameters,
+        )
+
+        task = InputSetTask(3)
+        inputs = [1, 2, 3]
+        params = SimulationParameters(
+            repetitions=1, verification_repetitions=1
+        )
+        simulator = ChunkCommitSimulator(
+            params, noise_model=NoiseModel.two_sided(0.1)
+        )
+        # Round 0 carries virtual round 1 (value 1, since input 1 is
+        # held): flipping it to 0 suppresses a beep; the beeper flags it.
+        channel = ScriptedChannel(flip_rounds=[0])
+        result = simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+        report = result.metadata["report"]
+        assert report.chunk_commits == 2
+        assert report.chunk_attempts == 3  # one retry, then clean
+        assert task.is_correct(inputs, result.outputs)
+
+    def test_clean_script_no_retries(self, rng):
+        from repro.core.formal import NoiseModel
+        from repro.simulation import (
+            ChunkCommitSimulator,
+            SimulationParameters,
+        )
+
+        task = InputSetTask(3)
+        inputs = [1, 2, 3]
+        simulator = ChunkCommitSimulator(
+            SimulationParameters(repetitions=1, verification_repetitions=1),
+            noise_model=NoiseModel.two_sided(0.1),
+        )
+        channel = ScriptedChannel(flip_rounds=[])
+        result = simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+        report = result.metadata["report"]
+        assert report.chunk_attempts == report.chunk_commits == 2
+
+    def test_rewind_unwinds_buried_error(self):
+        """The regression scenario behind the vote-then-extend ordering:
+        corrupt round 0 (suppress a beep) and let several clean rounds
+        pile on top; the rewind walk must dig all the way back."""
+        from repro.core.formal import NoiseModel
+        from repro.simulation import RewindSimulator, SimulationParameters
+
+        task = InputSetTask(3)
+        inputs = [1, 2, 3]
+        # Iteration 0: alarm round (round 0, clean), sim round (round 1).
+        # Flip round 1 (the first simulation round, virtual round 1 where
+        # input 1 beeps) from 1 to 0 -> buried error.
+        channel = ScriptedChannel(flip_rounds=[1], one_sided_down=True)
+        simulator = RewindSimulator(
+            SimulationParameters(
+                rewind_budget_factor=4.0, rewind_budget_extra=16
+            ),
+            noise_model=NoiseModel.suppression(0.1),
+        )
+        result = simulator.simulate(
+            task.noiseless_protocol(), inputs, channel
+        )
+        report = result.metadata["report"]
+        assert report.rewinds >= 1
+        assert task.is_correct(inputs, result.outputs)

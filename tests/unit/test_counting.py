@@ -1,0 +1,159 @@
+"""Unit tests for the size-estimation task."""
+
+import random
+
+import pytest
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+)
+from repro.core import run_protocol
+from repro.errors import ConfigurationError, TaskError
+from repro.simulation import RepetitionSimulator
+from repro.tasks import SizeEstimateTask
+
+
+class TestConstruction:
+    def test_phase_count(self):
+        task = SizeEstimateTask(16, extra_phases=6)
+        assert task.phases == 4 + 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SizeEstimateTask(0)
+        with pytest.raises(ConfigurationError):
+            SizeEstimateTask(4, tolerance=0.5)
+        with pytest.raises(ConfigurationError):
+            SizeEstimateTask(4, extra_phases=0)
+
+
+class TestSampling:
+    def test_tape_shape(self, rng):
+        task = SizeEstimateTask(8)
+        tapes = task.sample_inputs(rng)
+        assert len(tapes) == 8
+        assert all(len(tape) == task.phases for tape in tapes)
+
+    def test_phase_zero_always_beeps(self, rng):
+        task = SizeEstimateTask(8)
+        for _ in range(10):
+            tapes = task.sample_inputs(rng)
+            assert all(tape[0] == 1 for tape in tapes)
+
+    def test_late_phases_mostly_silent(self, rng):
+        task = SizeEstimateTask(4, extra_phases=10)
+        beeps = 0
+        for _ in range(50):
+            tapes = task.sample_inputs(rng)
+            beeps += sum(tape[-1] for tape in tapes)
+        assert beeps < 10  # Bernoulli(2^-12) x 200 draws
+
+
+class TestReferenceOutput:
+    def test_first_silent_phase(self):
+        task = SizeEstimateTask(2, extra_phases=2)
+        # phases = 1 + 2 = 3; tapes: both beep phase 0, silence phase 1.
+        tapes = [(1, 0, 0), (1, 0, 1)]
+        assert task.reference_output(tapes) == 2  # 2^1... wait: phase 1
+        # phase 1 has tape[1] = (0, 0) -> silent -> estimate 2^1 = 2.
+
+    def test_never_silent_caps_at_max(self):
+        task = SizeEstimateTask(2, extra_phases=2)
+        tapes = [(1, 1, 1), (1, 1, 1)]
+        assert task.reference_output(tapes) == 1 << 3
+
+    def test_validation(self):
+        task = SizeEstimateTask(3)
+        with pytest.raises(TaskError):
+            task.reference_output([(1, 0)])
+
+
+class TestCorrectness:
+    def test_agreement_required(self):
+        task = SizeEstimateTask(8)
+        assert not task.is_correct([], [8, 16] + [8] * 6)
+
+    def test_tolerance_window(self):
+        task = SizeEstimateTask(16, tolerance=4.0)
+        assert task.is_correct([], [16] * 16)
+        assert task.is_correct([], [4] * 16)
+        assert task.is_correct([], [64] * 16)
+        assert not task.is_correct([], [2] * 16)
+        assert not task.is_correct([], [256] * 16)
+
+    def test_empty_outputs_fail(self):
+        assert not SizeEstimateTask(4).is_correct([], [])
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_noiseless_estimates_within_tolerance(self, n):
+        task = SizeEstimateTask(n)
+        rng = random.Random(n)
+        wins = 0
+        trials = 40
+        for _ in range(trials):
+            tapes = task.sample_inputs(rng)
+            result = run_protocol(
+                task.noiseless_protocol(), tapes, NoiselessChannel()
+            )
+            wins += task.is_correct(tapes, result.outputs)
+        assert wins / trials >= 0.95
+
+    def test_estimates_concentrate_near_n(self):
+        """The median estimate is within a factor of 4 of n (much tighter
+        than the pass tolerance)."""
+        n = 64
+        task = SizeEstimateTask(n)
+        rng = random.Random(0)
+        estimates = []
+        for _ in range(60):
+            tapes = task.sample_inputs(rng)
+            result = run_protocol(
+                task.noiseless_protocol(), tapes, NoiselessChannel()
+            )
+            estimates.append(result.outputs[0])
+        estimates.sort()
+        median = estimates[len(estimates) // 2]
+        assert n / 4 <= median <= n * 4
+
+    def test_upward_noise_inflates_estimates(self):
+        """0->1 flips delay the first silence, biasing estimates up —
+        the direction-specific damage §2.1 discusses."""
+        n = 8
+        task = SizeEstimateTask(n, extra_phases=8)
+        rng = random.Random(1)
+        clean, noisy = [], []
+        for trial in range(60):
+            tapes = task.sample_inputs(rng)
+            clean.append(
+                run_protocol(
+                    task.noiseless_protocol(), tapes, NoiselessChannel()
+                ).outputs[0]
+            )
+            noisy.append(
+                run_protocol(
+                    task.noiseless_protocol(),
+                    tapes,
+                    OneSidedNoiseChannel(0.3, rng=trial),
+                ).outputs[0]
+            )
+        # Each 0->1 flip on a would-be-silent phase doubles the estimate;
+        # at epsilon = 0.3 the expected inflation factor is ~1.6x.
+        assert sum(noisy) / len(noisy) > 1.3 * sum(clean) / len(clean)
+
+    def test_simulation_restores_estimates(self):
+        task = SizeEstimateTask(16)
+        rng = random.Random(2)
+        simulator = RepetitionSimulator()
+        wins = 0
+        for trial in range(20):
+            tapes = task.sample_inputs(rng)
+            channel = CorrelatedNoiseChannel(0.2, rng=trial)
+            result = simulator.simulate(
+                task.noiseless_protocol(), tapes, channel
+            )
+            wins += task.is_correct(tapes, result.outputs)
+        assert wins >= 18

@@ -1,0 +1,274 @@
+"""Unit tests for the lock-step engine and core protocol runtime."""
+
+import pytest
+
+from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
+from repro.core import (
+    FunctionalProtocol,
+    Party,
+    Protocol,
+    run_protocol,
+)
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    ProtocolDesyncError,
+    ProtocolError,
+)
+
+
+class _EchoParty(Party):
+    """Beeps its input once and outputs what it heard."""
+
+    def __init__(self, bit):
+        self.bit = bit
+
+    def run(self):
+        heard = yield self.bit
+        return heard
+
+
+class _EchoProtocol(Protocol):
+    def length(self):
+        return 1
+
+    def create_parties(self, inputs, shared_seed=None):
+        self._check_inputs(inputs)
+        return [_EchoParty(bit) for bit in inputs]
+
+
+class _SilentParty(Party):
+    """Zero communication; outputs a constant."""
+
+    def run(self):
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+
+class _SilentProtocol(Protocol):
+    def create_parties(self, inputs, shared_seed=None):
+        return [_SilentParty() for _ in inputs]
+
+
+class _VariableLengthProtocol(Protocol):
+    """Party i talks for i+1 rounds — deliberately desynchronized."""
+
+    class _P(Party):
+        def __init__(self, rounds):
+            self.rounds = rounds
+
+        def run(self):
+            for _ in range(self.rounds):
+                yield 0
+            return None
+
+    def create_parties(self, inputs, shared_seed=None):
+        return [self._P(i + 1) for i in range(len(inputs))]
+
+
+class TestRunProtocolBasics:
+    def test_or_is_broadcast(self):
+        result = run_protocol(
+            _EchoProtocol(3), [0, 1, 0], NoiselessChannel()
+        )
+        assert result.outputs == [1, 1, 1]
+
+    def test_all_silent(self):
+        result = run_protocol(
+            _EchoProtocol(2), [0, 0], NoiselessChannel()
+        )
+        assert result.outputs == [0, 0]
+
+    def test_round_count(self):
+        result = run_protocol(
+            _EchoProtocol(2), [1, 0], NoiselessChannel()
+        )
+        assert result.rounds == 1
+        assert len(result.transcript) == 1
+
+    def test_zero_round_protocol(self):
+        result = run_protocol(
+            _SilentProtocol(2), [None, None], NoiselessChannel()
+        )
+        assert result.outputs == ["done", "done"]
+        assert result.rounds == 0
+
+    def test_transcript_records_sent_bits(self):
+        result = run_protocol(
+            _EchoProtocol(3), [0, 1, 1], NoiselessChannel()
+        )
+        assert result.transcript[0].sent == (0, 1, 1)
+        assert result.transcript[0].or_value == 1
+
+    def test_record_sent_off(self):
+        result = run_protocol(
+            _EchoProtocol(2),
+            [1, 0],
+            NoiselessChannel(),
+            record_sent=False,
+        )
+        assert result.transcript[0].sent is None
+
+    def test_channel_stats_delta(self):
+        channel = NoiselessChannel()
+        channel.transmit((1,))  # pre-existing traffic
+        result = run_protocol(_EchoProtocol(2), [1, 1], channel)
+        assert result.channel_stats.rounds == 1
+        assert result.channel_stats.beeps_sent == 2
+
+
+class TestRunProtocolErrors:
+    def test_desync_raises(self):
+        with pytest.raises(ProtocolDesyncError):
+            run_protocol(
+                _VariableLengthProtocol(2), [None, None], NoiselessChannel()
+            )
+
+    def test_max_rounds_guard(self):
+        class _Forever(Protocol):
+            class _P(Party):
+                def run(self):
+                    while True:
+                        yield 0
+
+            def create_parties(self, inputs, shared_seed=None):
+                return [self._P() for _ in inputs]
+
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                _Forever(1), [None], NoiselessChannel(), max_rounds=10
+            )
+
+    def test_invalid_beep_raises(self):
+        class _Bad(Protocol):
+            class _P(Party):
+                def run(self):
+                    yield 7
+                    return None
+
+            def create_parties(self, inputs, shared_seed=None):
+                return [self._P() for _ in inputs]
+
+        with pytest.raises(ChannelError):
+            run_protocol(_Bad(1), [None], NoiselessChannel())
+
+    def test_wrong_input_count(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(_EchoProtocol(3), [0, 1], NoiselessChannel())
+
+
+class TestFunctionalProtocol:
+    def test_shared_broadcast_signature(self):
+        protocol = FunctionalProtocol(
+            n_parties=2,
+            length=2,
+            broadcast=lambda i, x, prefix: x[len(prefix)],
+            output=lambda i, x, received: tuple(received),
+        )
+        result = run_protocol(
+            protocol, [(1, 0), (0, 0)], NoiselessChannel()
+        )
+        assert result.outputs == [(1, 0), (1, 0)]
+
+    def test_per_party_functions(self):
+        protocol = FunctionalProtocol(
+            n_parties=2,
+            length=1,
+            broadcast=[
+                lambda x, prefix: 1,
+                lambda x, prefix: 0,
+            ],
+            output=[
+                lambda x, received: "a",
+                lambda x, received: "b",
+            ],
+        )
+        result = run_protocol(protocol, [None, None], NoiselessChannel())
+        assert result.outputs == ["a", "b"]
+
+    def test_prefix_grows_per_round(self):
+        seen_lengths = []
+
+        def broadcast(i, x, prefix):
+            if i == 0:
+                seen_lengths.append(len(prefix))
+            return 0
+
+        protocol = FunctionalProtocol(
+            n_parties=1,
+            length=3,
+            broadcast=broadcast,
+            output=lambda i, x, received: None,
+        )
+        run_protocol(protocol, [None], NoiselessChannel())
+        assert seen_lengths == [0, 1, 2]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalProtocol(
+                n_parties=1,
+                length=-1,
+                broadcast=lambda i, x, p: 0,
+                output=lambda i, x, r: None,
+            )
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalProtocol(
+                n_parties=0,
+                length=1,
+                broadcast=lambda i, x, p: 0,
+                output=lambda i, x, r: None,
+            )
+
+    def test_length_metadata(self):
+        protocol = FunctionalProtocol(
+            n_parties=1,
+            length=5,
+            broadcast=lambda i, x, p: 0,
+            output=lambda i, x, r: None,
+        )
+        assert protocol.length() == 5
+
+
+class TestExecutionResult:
+    def test_outputs_agree(self):
+        result = run_protocol(_EchoProtocol(3), [1, 0, 0], NoiselessChannel())
+        assert result.outputs_agree()
+        assert result.common_output() == 1
+
+    def test_disagreement_detected(self):
+        class _IndexOutput(Protocol):
+            class _P(Party):
+                def __init__(self, index):
+                    self.index = index
+
+                def run(self):
+                    yield 0
+                    return self.index
+
+            def create_parties(self, inputs, shared_seed=None):
+                return [self._P(i) for i in range(len(inputs))]
+
+        result = run_protocol(
+            _IndexOutput(2), [None, None], NoiselessChannel()
+        )
+        assert not result.outputs_agree()
+        with pytest.raises(ValueError):
+            result.common_output()
+
+    def test_noisy_channel_transcript_flags(self):
+        channel = CorrelatedNoiseChannel(0.5 - 1e-9, rng=0)
+
+        class _Long(Protocol):
+            class _P(Party):
+                def run(self):
+                    for _ in range(200):
+                        yield 0
+                    return None
+
+            def create_parties(self, inputs, shared_seed=None):
+                return [self._P() for _ in inputs]
+
+        result = run_protocol(_Long(1), [None], channel)
+        assert len(result.transcript.noise_positions()) > 20

@@ -1,0 +1,180 @@
+"""Unit tests for entropy accounting and the closed-form theory bounds."""
+
+import math
+
+import pytest
+
+from repro.core.formal import NoiseModel
+from repro.errors import ConfigurationError
+from repro.lowerbound import theory
+from repro.lowerbound.entropy import (
+    c4_feasible_entropy_bound,
+    entropy,
+    mutual_information,
+    posterior_input_distribution,
+    posterior_input_entropy,
+    transcript_distribution,
+)
+from repro.tasks.input_set import input_set_formal_protocol
+
+ONE_SIDED = NoiseModel.one_sided(1.0 / 3.0)
+
+
+class TestEntropyHelper:
+    def test_uniform_distribution(self):
+        assert entropy({"a": 0.5, "b": 0.5}) == pytest.approx(1.0)
+
+    def test_deterministic_distribution(self):
+        assert entropy({"a": 1.0}) == 0.0
+
+    def test_zero_entries_ignored(self):
+        assert entropy({"a": 1.0, "b": 0.0}) == 0.0
+
+    def test_four_way_uniform(self):
+        dist = {i: 0.25 for i in range(4)}
+        assert entropy(dist) == pytest.approx(2.0)
+
+
+class TestTranscriptDistribution:
+    def test_normalised(self):
+        protocol = input_set_formal_protocol(2)
+        distribution = transcript_distribution(protocol, ONE_SIDED)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_noiseless_support(self):
+        protocol = input_set_formal_protocol(2)
+        distribution = transcript_distribution(
+            protocol, NoiseModel(up=0.0, down=0.0)
+        )
+        # Noiseless transcripts are exactly the indicator vectors of L(x):
+        # between 1 and 2 ones in 4 rounds.
+        for pi in distribution:
+            assert 1 <= sum(pi) <= 2
+
+
+class TestPosterior:
+    def test_posterior_normalised(self):
+        protocol = input_set_formal_protocol(2)
+        posterior = posterior_input_distribution(
+            protocol, ONE_SIDED, (1, 1, 0, 0)
+        )
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_zero_rounds_exclude_inputs(self):
+        protocol = input_set_formal_protocol(2)
+        posterior = posterior_input_distribution(
+            protocol, ONE_SIDED, (0, 1, 1, 1)
+        )
+        # pi_1 = 0 under one-sided noise: nobody holds value 1.
+        for inputs in posterior:
+            assert 1 not in inputs
+
+    def test_impossible_transcript_raises(self):
+        protocol = input_set_formal_protocol(2)
+        with pytest.raises(ConfigurationError):
+            # All-zero transcript is impossible: every party beeps once.
+            posterior_input_distribution(
+                protocol, ONE_SIDED, (0, 0, 0, 0)
+            )
+
+    def test_observation_c4_pointwise(self):
+        """H(X | π) ≤ Σ_i log |S^i(π)| for every reachable transcript."""
+        protocol = input_set_formal_protocol(2)
+        distribution = transcript_distribution(protocol, ONE_SIDED)
+        for pi in distribution:
+            posterior_entropy = posterior_input_entropy(
+                protocol, ONE_SIDED, pi
+            )
+            bound = c4_feasible_entropy_bound(protocol, pi)
+            assert posterior_entropy <= bound + 1e-9
+
+
+class TestMutualInformation:
+    def test_bounded_by_rounds(self):
+        """Fact B.4/B.5 chain: I(X ; Π) ≤ H(Π) ≤ T."""
+        protocol = input_set_formal_protocol(2)
+        information = mutual_information(protocol, ONE_SIDED)
+        assert 0.0 - 1e-9 <= information <= protocol.length() + 1e-9
+
+    def test_noiseless_reveals_more(self):
+        protocol = input_set_formal_protocol(2)
+        noisy = mutual_information(protocol, ONE_SIDED)
+        clean = mutual_information(protocol, NoiseModel(up=0.0, down=0.0))
+        assert clean >= noisy - 1e-9
+
+
+class TestTheoryBounds:
+    def test_c2_bound_shape(self):
+        # Grows with T, shrinks with n at fixed T/n ratio... check both.
+        assert theory.c2_zeta_bound(8, 16) < theory.c2_zeta_bound(8, 32)
+        assert theory.c2_zeta_bound(16, 0) == pytest.approx(0.25)
+
+    def test_c3_requirement(self):
+        assert theory.c3_zeta_requirement(16) == pytest.approx(16**-0.75)
+
+    def test_c1_threshold(self):
+        assert theory.c1_round_threshold(1024) == pytest.approx(
+            1024 * 10 / 1000
+        )
+
+    def test_crossover_consistency(self):
+        """At T = crossover, the C.2 cap equals the C.3 floor."""
+        for n in (10**4, 10**6):
+            rounds = theory.zeta_crossover_rounds(n)
+            assert rounds > 0
+            cap = theory.c2_zeta_bound(n, rounds)
+            floor = theory.c3_zeta_requirement(n)
+            assert cap == pytest.approx(floor, rel=1e-6)
+
+    def test_crossover_is_n_log_n_shaped(self):
+        """crossover(n) / n grows like log n."""
+        ratios = [
+            theory.zeta_crossover_rounds(n) / n
+            for n in (10**4, 10**6, 10**8)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+        increments = [ratios[1] - ratios[0], ratios[2] - ratios[1]]
+        # log-shaped: equal increments per multiplicative step.
+        assert increments[0] == pytest.approx(increments[1], rel=0.01)
+
+    def test_tiny_n_crossover_clamps_to_zero(self):
+        assert theory.zeta_crossover_rounds(2) == 0.0
+
+    def test_upper_bound_rounds(self):
+        assert theory.upper_bound_rounds(16, 10, constant=2.0) == pytest.approx(
+            2.0 * 10 * 4
+        )
+
+    def test_cauchy_schwarz_gap_nonnegative(self):
+        gap = theory.cauchy_schwarz_ratio_gap([1, 2, 3], [2, 1, 4])
+        assert gap >= 0
+
+    def test_cauchy_schwarz_equality_case(self):
+        """Equality when a_i proportional to b_i."""
+        gap = theory.cauchy_schwarz_ratio_gap([1, 2, 3], [2, 4, 6])
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_cauchy_schwarz_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.cauchy_schwarz_ratio_gap([1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            theory.cauchy_schwarz_ratio_gap([], [])
+        with pytest.raises(ConfigurationError):
+            theory.cauchy_schwarz_ratio_gap([1, -1], [1, 1])
+
+    def test_lemma_b8_bound_monotone_in_k(self):
+        assert theory.lemma_b8_probability_bound(
+            2, 100
+        ) < theory.lemma_b8_probability_bound(50, 100)
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            theory.c2_zeta_bound(0, 1)
+        with pytest.raises(ConfigurationError):
+            theory.c2_zeta_bound(4, -1)
+        with pytest.raises(ConfigurationError):
+            theory.c3_zeta_requirement(0)
+        with pytest.raises(ConfigurationError):
+            theory.c1_round_threshold(-1)
+        with pytest.raises(ConfigurationError):
+            theory.lemma_b8_probability_bound(0, 5)

@@ -1,0 +1,119 @@
+"""Unit tests for feasible sets and good players (§C.2, Lemma B.8)."""
+
+import math
+
+import pytest
+
+from repro.core.formal import NoiseModel
+from repro.errors import ConfigurationError
+from repro.lowerbound.feasible import feasible_set, feasible_sizes
+from repro.lowerbound.good_players import (
+    good_event_threshold,
+    good_players,
+    large_feasible_players,
+    lemma_b8_bound,
+    sample_unique_counts,
+    unique_input_players,
+)
+from repro.tasks.input_set import input_set_formal_protocol
+
+
+class TestFeasibleSet:
+    def test_empty_prefix_everything_feasible(self):
+        protocol = input_set_formal_protocol(3)
+        assert feasible_set(protocol, 0, ()) == tuple(range(1, 7))
+
+    def test_zero_round_rules_out_value(self):
+        """π_0 = 0 (round 1 silent) rules out x^i = 1 for everyone."""
+        protocol = input_set_formal_protocol(3)
+        feasible = feasible_set(protocol, 0, (0,))
+        assert 1 not in feasible
+        assert feasible == tuple(range(2, 7))
+
+    def test_one_rounds_do_not_constrain(self):
+        protocol = input_set_formal_protocol(3)
+        assert feasible_set(protocol, 0, (1, 1, 1)) == tuple(range(1, 7))
+
+    def test_all_zero_transcript_leaves_nothing(self):
+        protocol = input_set_formal_protocol(2)
+        feasible = feasible_set(protocol, 0, (0, 0, 0, 0))
+        assert feasible == ()
+
+    def test_sizes_vector(self):
+        protocol = input_set_formal_protocol(2)
+        sizes = feasible_sizes(protocol, (0, 1, 1, 1))
+        assert sizes == [3, 3]  # value 1 ruled out of {1..4}
+
+    def test_party_range_validated(self):
+        protocol = input_set_formal_protocol(2)
+        with pytest.raises(ConfigurationError):
+            feasible_set(protocol, 2, ())
+
+    def test_prefix_length_validated(self):
+        protocol = input_set_formal_protocol(2)
+        with pytest.raises(ConfigurationError):
+            feasible_set(protocol, 0, (0,) * 5)
+
+
+class TestUniqueInputPlayers:
+    def test_all_unique(self):
+        assert unique_input_players([1, 2, 3]) == {0, 1, 2}
+
+    def test_duplicates_excluded(self):
+        assert unique_input_players([1, 1, 3]) == {2}
+
+    def test_none_unique(self):
+        assert unique_input_players([5, 5]) == frozenset()
+
+
+class TestLargeFeasiblePlayers:
+    def test_default_threshold_is_sqrt_n(self):
+        protocol = input_set_formal_protocol(4)
+        # Empty prefix: feasible sets are the full universe (8 > 2).
+        assert large_feasible_players(protocol, ()) == frozenset(range(4))
+
+    def test_custom_threshold(self):
+        protocol = input_set_formal_protocol(2)
+        # After (0,0,0,0) feasible sets are empty.
+        assert (
+            large_feasible_players(protocol, (0, 0, 0, 0), threshold=0)
+            == frozenset()
+        )
+
+    def test_good_players_intersection(self):
+        protocol = input_set_formal_protocol(3)
+        good = good_players(protocol, [1, 1, 4], (1,) * 6)
+        assert good == {2}  # only the unique holder; feasibility is full
+
+
+class TestGoodEventThreshold:
+    def test_quarter(self):
+        assert good_event_threshold(8) == 2.0
+
+
+class TestLemmaB8:
+    def test_bound_formula(self):
+        assert lemma_b8_bound(4, 8) == pytest.approx(
+            1.5 * (1 - math.exp(-0.5))
+        )
+
+    def test_monte_carlo_respects_bound(self):
+        """Empirical Pr[|I| <= k/3] never exceeds the Lemma B.8 bound
+        (for the k < |S| regime where it is meaningful)."""
+        k, universe = 6, 24
+        counts = sample_unique_counts(k, universe, trials=2000, rng=0)
+        empirical = sum(1 for c in counts if c <= k / 3) / len(counts)
+        assert empirical <= lemma_b8_bound(k, universe)
+
+    def test_unique_counts_range(self):
+        counts = sample_unique_counts(5, 10, trials=100, rng=1)
+        assert all(0 <= c <= 5 for c in counts)
+
+    def test_reproducible(self):
+        a = sample_unique_counts(5, 10, trials=50, rng=7)
+        b = sample_unique_counts(5, 10, trials=50, rng=7)
+        assert a == b
+
+    def test_large_universe_most_unique(self):
+        counts = sample_unique_counts(5, 10_000, trials=200, rng=2)
+        assert sum(counts) / len(counts) > 4.9

@@ -1,0 +1,79 @@
+"""Deterministic unit tests of the MIS election's state machine.
+
+The statistical MIS tests live in ``test_network.py``; here the coin
+tapes are fixed by hand so every phase transition (candidate → winner,
+neighbor domination, persistence of decisions) can be asserted exactly.
+"""
+
+from repro.core import run_protocol
+from repro.network import MISTask, mis_protocol, ring
+from repro.network.channel import NetworkBeepingChannel
+
+
+def _run(adjacency, tapes, phases):
+    protocol = mis_protocol(len(adjacency), phases)
+    channel = NetworkBeepingChannel(adjacency, hear_self=False)
+    return run_protocol(protocol, tapes, channel)
+
+
+class TestSinglePhaseTransitions:
+    # Path graph 0 - 1 - 2 (symmetric adjacency).
+    PATH = [(1,), (0, 2), (1,)]
+
+    def test_lone_candidate_wins_and_dominates(self):
+        # Phase 0: only node 1 is a candidate -> hears no candidate beep,
+        # wins, and its victory beep dominates nodes 0 and 2.
+        tapes = [(0,), (1,), (0,)]
+        result = _run(self.PATH, tapes, phases=1)
+        assert result.outputs == [False, True, False]
+
+    def test_adjacent_candidates_block_each_other(self):
+        # Nodes 0 and 1 both candidates: each hears the other's beep, so
+        # neither wins; node 2 (non-candidate) stays undecided too.
+        tapes = [(1,), (1,), (0,)]
+        result = _run(self.PATH, tapes, phases=1)
+        assert result.outputs == [None, None, None]
+
+    def test_non_adjacent_candidates_both_win(self):
+        # Nodes 0 and 2 are not neighbors: both hear silence (node 1 is
+        # not a candidate), both win; node 1 is dominated by both.
+        tapes = [(1,), (0,), (1,)]
+        result = _run(self.PATH, tapes, phases=1)
+        assert result.outputs == [True, False, True]
+
+    def test_decisions_persist_across_phases(self):
+        # Phase 0 elects node 1.  Phase 1's tapes would make everyone a
+        # candidate, but decided nodes stay silent, so nothing changes.
+        tapes = [(0, 1), (1, 1), (0, 1)]
+        result = _run(self.PATH, tapes, phases=2)
+        assert result.outputs == [False, True, False]
+
+    def test_undecided_node_can_win_later_phase(self):
+        # Phase 0: nodes 0, 1 block each other.  Phase 1: only node 0
+        # candidates -> wins; node 1 dominated; node 2 still undecided
+        # (not adjacent to any winner) until it wins phase 2 alone.
+        tapes = [(1, 1, 0), (1, 0, 0), (0, 0, 1)]
+        result = _run(self.PATH, tapes, phases=3)
+        assert result.outputs == [True, False, True]
+
+
+class TestRingDynamics:
+    def test_alternating_candidates_on_ring(self):
+        # Ring of 4: nodes 0 and 2 candidate (non-adjacent) -> both win;
+        # 1 and 3 dominated.  A valid MIS in one phase.
+        tapes = [(1,), (0,), (1,), (0,)]
+        result = _run(ring(4), tapes, phases=1)
+        assert result.outputs == [True, False, True, False]
+        task = MISTask(ring(4), cycles=1)
+        assert task.is_correct([], result.outputs)
+
+    def test_all_candidates_deadlock_one_phase(self):
+        # Everyone candidates: everyone hears a neighbor, nobody wins.
+        tapes = [(1,)] * 4
+        result = _run(ring(4), tapes, phases=1)
+        assert result.outputs == [None] * 4
+
+    def test_round_structure_two_per_phase(self):
+        tapes = [(1, 0), (0, 0), (1, 0), (0, 0)]
+        result = _run(ring(4), tapes, phases=2)
+        assert result.rounds == 4  # 2 rounds per phase

@@ -1,0 +1,90 @@
+"""Unit tests for the neighbor machinery (§2.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound.neighbors import (
+    differing_neighbors,
+    neighbor_inputs,
+    neighbors_of_player,
+    sensitivity_profile,
+)
+
+UNIVERSE = range(1, 7)  # [2n] for n = 3
+
+
+class TestNeighborsOfPlayer:
+    def test_count(self):
+        neighbors = list(neighbors_of_player((1, 2, 3), 0, UNIVERSE))
+        assert len(neighbors) == 5  # |universe| - 1
+
+    def test_only_one_coordinate_changes(self):
+        for neighbor in neighbors_of_player((1, 2, 3), 1, UNIVERSE):
+            assert neighbor[0] == 1
+            assert neighbor[2] == 3
+            assert neighbor[1] != 2
+
+    def test_player_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            list(neighbors_of_player((1, 2), 2, UNIVERSE))
+
+
+class TestNeighborInputs:
+    def test_total_count(self):
+        neighbors = list(neighbor_inputs((1, 2, 3), UNIVERSE))
+        assert len(neighbors) == 3 * 5
+
+    def test_all_are_distinct_from_origin(self):
+        origin = (1, 2, 3)
+        for neighbor in neighbor_inputs(origin, UNIVERSE):
+            assert neighbor != origin
+
+
+class TestDifferingNeighbors:
+    def test_all_unique_inputs_all_neighbors_differ(self):
+        """With all-distinct values, removing any value changes L(x)."""
+        neighbors = differing_neighbors((1, 2, 3), UNIVERSE)
+        assert len(neighbors) == 15
+
+    def test_shadowed_input_shrinks_neighborhood(self):
+        """With x = (1, 1, 3): changing one of the 1s to a fresh value
+        does NOT remove 1 from L(x) but adds a value -> still differs;
+        changing it to 3 gives {1, 3} = L(x)... compute explicitly."""
+        x = (1, 1, 3)
+        reference = frozenset(x)
+        expected = sum(
+            1
+            for neighbor in neighbor_inputs(x, UNIVERSE)
+            if frozenset(neighbor) != reference
+        )
+        assert len(differing_neighbors(x, UNIVERSE)) == expected
+
+    def test_quadratic_growth_on_unique_inputs(self):
+        """|N(x)| = n(2n - 1) when all inputs are unique and changing any
+        one always changes the set — the Θ(n²) of §2.3."""
+        for n in (2, 3, 4):
+            universe = range(1, 2 * n + 1)
+            x = tuple(range(1, n + 1))
+            count = len(differing_neighbors(x, universe))
+            assert count == n * (2 * n - 1)
+
+
+class TestSensitivityProfile:
+    def test_unique_holder_fully_sensitive(self):
+        profile = sensitivity_profile((1, 2, 3), UNIVERSE)
+        assert profile == {0: 5, 1: 5, 2: 5}
+
+    def test_duplicated_value_less_sensitive(self):
+        profile = sensitivity_profile((1, 1, 3), UNIVERSE)
+        # Players 0 and 1 share value 1: moving one of them to y adds y
+        # (set changes) unless y is already present: y in {1(skip),3}.
+        # Moving to 3 gives {1,3} == L(x)?  L(x) = {1,3}; x' = (3,1,3)
+        # -> {1,3}: unchanged!  So 4 changing moves out of 5.
+        assert profile[0] == 4
+        assert profile[1] == 4
+        # Player 2 is unique: removing 3 always changes the set.
+        assert profile[2] == 5
+
+    def test_profile_keys_cover_players(self):
+        profile = sensitivity_profile((2, 2), range(1, 5))
+        assert set(profile) == {0, 1}

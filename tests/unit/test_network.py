@@ -1,0 +1,213 @@
+"""Unit tests for the multi-hop beeping network substrate."""
+
+import random
+
+import pytest
+
+from repro.channels import IndependentNoiseChannel, NoiselessChannel
+from repro.core import run_protocol
+from repro.errors import ChannelError, ConfigurationError, TaskError
+from repro.network import (
+    MISTask,
+    NetworkBeepingChannel,
+    complete,
+    grid,
+    mis_protocol,
+    ring,
+)
+
+
+class TestTopologies:
+    def test_ring_degrees(self):
+        adjacency = ring(5)
+        assert all(len(neighbors) == 2 for neighbors in adjacency)
+        assert adjacency[0] == (1, 4)
+
+    def test_ring_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring(2)
+
+    def test_grid_corner_and_center(self):
+        adjacency = grid(3, 3)
+        assert set(adjacency[0]) == {1, 3}  # corner
+        assert set(adjacency[4]) == {1, 3, 5, 7}  # center
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid(0, 3)
+
+    def test_complete(self):
+        adjacency = complete(4)
+        assert all(len(neighbors) == 3 for neighbors in adjacency)
+        assert 0 not in adjacency[0]
+
+
+class TestNetworkChannel:
+    def test_neighborhood_or(self):
+        channel = NetworkBeepingChannel(ring(4))
+        # Node 0 beeps: only its neighbors 1 and 3 hear it.
+        outcome = channel.transmit((1, 0, 0, 0))
+        assert outcome.received == (0, 1, 0, 1)
+
+    def test_hear_self(self):
+        channel = NetworkBeepingChannel(ring(4), hear_self=True)
+        outcome = channel.transmit((1, 0, 0, 0))
+        assert outcome.received == (1, 1, 0, 1)
+
+    def test_complete_graph_equals_single_hop(self):
+        """Complete graph + hear_self reproduces the noiseless single-hop
+        channel on arbitrary beep patterns."""
+        rng = random.Random(0)
+        network = NetworkBeepingChannel(complete(5), hear_self=True)
+        single = NoiselessChannel()
+        for _ in range(50):
+            bits = tuple(rng.getrandbits(1) for _ in range(5))
+            assert (
+                network.transmit(bits).received
+                == single.transmit(bits).received
+            )
+
+    def test_complete_graph_with_noise_matches_independent_model(self):
+        """Statistically: complete graph + hear_self + epsilon behaves
+        like IndependentNoiseChannel."""
+        network = NetworkBeepingChannel(
+            complete(3), epsilon=0.2, hear_self=True, rng=1
+        )
+        independent = IndependentNoiseChannel(0.2, rng=2)
+        trials = 4000
+        network_flips = sum(
+            sum(network.transmit((0, 0, 0)).received)
+            for _ in range(trials)
+        )
+        independent_flips = sum(
+            sum(independent.transmit((0, 0, 0)).received)
+            for _ in range(trials)
+        )
+        assert network_flips == pytest.approx(
+            independent_flips, rel=0.15
+        )
+
+    def test_arity_enforced(self):
+        channel = NetworkBeepingChannel(ring(4))
+        with pytest.raises(ChannelError):
+            channel.transmit((1, 0))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkBeepingChannel([(0,), ()])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkBeepingChannel([(5,), (0,)])
+
+    def test_noise_stats_counted_against_neighborhood(self):
+        channel = NetworkBeepingChannel(ring(4), epsilon=0.3, rng=3)
+        for _ in range(500):
+            channel.transmit((0, 0, 0, 0))
+        # All silent: every received 1 is an up-flip.
+        assert channel.stats.flips_up > 0
+        assert channel.stats.flips_down == 0
+
+    def test_directed_interference_allowed(self):
+        # Node 0 hears node 1 but not vice versa.
+        channel = NetworkBeepingChannel([(1,), ()])
+        outcome = channel.transmit((0, 1))
+        assert outcome.received == (1, 0)
+
+
+class TestMISTask:
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MISTask([(1,), ()])
+
+    def test_reference_output_unavailable(self):
+        with pytest.raises(TaskError):
+            MISTask(ring(4)).reference_output([])
+
+    def test_probability_schedule_cycles(self):
+        task = MISTask(ring(8))
+        assert task.candidate_probability(0) == 0.5
+        assert task.candidate_probability(1) == 0.25
+        assert task.candidate_probability(task.levels) == 0.5
+
+    def test_checker_accepts_valid_mis(self):
+        task = MISTask(ring(4))
+        assert task.is_correct([], [True, False, True, False])
+
+    def test_checker_rejects_dependent_set(self):
+        task = MISTask(ring(4))
+        assert not task.is_correct([], [True, True, False, False])
+
+    def test_checker_rejects_non_maximal_set(self):
+        task = MISTask(ring(6))
+        # Nodes 3,4,5 all out with no in-neighbor.
+        assert not task.is_correct(
+            [], [True, False, False, False, False, False]
+        )
+
+    def test_checker_rejects_undecided(self):
+        task = MISTask(ring(4))
+        assert not task.is_correct([], [True, False, True, None])
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            mis_protocol(4, 0)
+        with pytest.raises(ConfigurationError):
+            MISTask(ring(4), cycles=0)
+
+
+class TestMISExecution:
+    @pytest.mark.parametrize(
+        "name,adjacency",
+        [
+            ("ring", ring(10)),
+            ("grid", grid(3, 4)),
+            ("complete", complete(8)),
+        ],
+    )
+    def test_high_success_noiseless(self, name, adjacency):
+        task = MISTask(adjacency)
+        wins = 0
+        for trial in range(20):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, task.channel()
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins >= 19, name
+
+    def test_round_count(self):
+        task = MISTask(ring(6), cycles=3)
+        inputs = task.sample_inputs(random.Random(0))
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, task.channel()
+        )
+        assert result.rounds == 2 * task.phases
+
+    def test_noise_degrades_mis(self):
+        """Per-node noise breaks the election — phantom candidate beeps
+        suppress legitimate winners and phantom victory beeps dominate
+        nodes with no winning neighbor."""
+        task = MISTask(ring(10))
+        wins = 0
+        trials = 20
+        for trial in range(trials):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(),
+                inputs,
+                task.channel(epsilon=0.1, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins <= trials * 0.7
+
+    def test_deterministic_given_seeds(self):
+        task = MISTask(grid(2, 3))
+        inputs = task.sample_inputs(random.Random(5))
+        a = run_protocol(
+            task.noiseless_protocol(), inputs, task.channel()
+        )
+        b = run_protocol(
+            task.noiseless_protocol(), inputs, task.channel()
+        )
+        assert a.outputs == b.outputs

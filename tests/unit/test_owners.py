@@ -1,0 +1,185 @@
+"""Unit tests for the finding-owners phase (Algorithm 1 / Theorem D.1)."""
+
+import random
+
+import pytest
+
+from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
+from repro.core import run_protocol
+from repro.core.formal import NoiseModel
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simulation.owners import (
+    NEXT,
+    SILENCE,
+    OwnersProtocol,
+    build_owners_code,
+    position_symbol,
+    symbol_position,
+)
+
+
+def _random_instance(n, rng):
+    """Random beep matrix and its OR transcript."""
+    bits = [
+        tuple(rng.getrandbits(1) for _ in range(n)) for _ in range(n)
+    ]
+    pi = tuple(max(bits[i][m] for i in range(n)) for m in range(n))
+    return bits, pi
+
+
+class TestSymbolLayout:
+    def test_sentinels_distinct(self):
+        assert SILENCE != NEXT
+
+    def test_position_round_trip(self):
+        for position in range(10):
+            assert symbol_position(position_symbol(position)) == position
+
+    def test_sentinels_have_no_position(self):
+        assert symbol_position(SILENCE) is None
+        assert symbol_position(NEXT) is None
+
+
+class TestBuildOwnersCode:
+    def test_silence_is_all_zero(self):
+        code = build_owners_code(8)
+        assert code.encode(SILENCE) == (0,) * code.codeword_length
+
+    def test_alphabet_covers_positions(self):
+        code = build_owners_code(8)
+        assert code.num_symbols == 10  # 8 positions + 2 sentinels
+
+    def test_length_scales_with_rate_constant(self):
+        short = build_owners_code(8, rate_constant=8.0)
+        long = build_owners_code(8, rate_constant=20.0)
+        assert long.codeword_length > short.codeword_length
+
+
+class TestOwnersNoiseless:
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_every_one_gets_valid_owner(self, n):
+        rng = random.Random(n)
+        for trial in range(10):
+            bits, pi = _random_instance(n, rng)
+            protocol = OwnersProtocol(
+                n, pi, NoiseModel(up=0.0, down=0.0)
+            )
+            result = run_protocol(protocol, bits, NoiselessChannel())
+            owners = result.outputs[0].owners
+            # Theorem D.1 conclusion, part 2: owners actually beeped 1.
+            for position, owner in owners.items():
+                assert bits[owner][position] == 1
+            # Part 1 + coverage: all parties agree, every 1 covered.
+            assert all(out.owners == owners for out in result.outputs)
+            assert set(owners) == {
+                m for m in range(n) if pi[m] == 1
+            }
+
+    def test_all_zero_transcript_needs_no_owners(self):
+        n = 3
+        bits = [(0, 0, 0)] * 3
+        protocol = OwnersProtocol(n, (0, 0, 0), NoiseModel(up=0.0, down=0.0))
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        assert result.outputs[0].owners == {}
+
+    def test_smallest_claimant_wins_turn_order(self):
+        """Turn order starts at party 0; shared 1s go to the earliest
+        party holding them."""
+        n = 3
+        bits = [(1, 1, 0), (1, 0, 1), (0, 0, 1)]
+        pi = (1, 1, 1)
+        protocol = OwnersProtocol(n, pi, NoiseModel(up=0.0, down=0.0))
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        owners = result.outputs[0].owners
+        assert owners[0] == 0
+        assert owners[1] == 0
+        assert owners[2] == 1
+
+    def test_claimed_by_me_tracks_own_claims(self):
+        n = 2
+        bits = [(1, 0), (0, 1)]
+        protocol = OwnersProtocol(n, (1, 1), NoiseModel(up=0.0, down=0.0))
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        assert result.outputs[0].claimed_by_me == {0}
+        assert result.outputs[1].claimed_by_me == {1}
+
+    def test_round_count_matches_length_metadata(self):
+        n = 4
+        rng = random.Random(0)
+        bits, pi = _random_instance(n, rng)
+        protocol = OwnersProtocol(n, pi, NoiseModel(up=0.0, down=0.0))
+        result = run_protocol(protocol, bits, NoiselessChannel())
+        assert result.rounds == protocol.length()
+
+
+class TestOwnersNoisy:
+    def test_theorem_d1_statistics(self):
+        """Under two-sided noise, owners are consistent/valid/covering in
+        the vast majority of runs (Theorem D.1 shape)."""
+        n = 5
+        rng = random.Random(42)
+        bits, pi = _random_instance(n, rng)
+        code = build_owners_code(n, rate_constant=16.0)
+        protocol = OwnersProtocol(
+            n, pi, NoiseModel.two_sided(0.1), code=code
+        )
+        perfect = 0
+        trials = 40
+        for trial in range(trials):
+            channel = CorrelatedNoiseChannel(0.1, rng=trial)
+            result = run_protocol(protocol, bits, channel)
+            owners = result.outputs[0].owners
+            consistent = all(
+                out.owners == owners for out in result.outputs
+            )
+            valid = all(
+                bits[owner][pos] == 1 for pos, owner in owners.items()
+            )
+            covering = set(owners) == {
+                m for m in range(n) if pi[m] == 1
+            }
+            if consistent and valid and covering:
+                perfect += 1
+        assert perfect / trials >= 0.9
+
+    def test_longer_code_reduces_errors(self):
+        n = 5
+        rng = random.Random(7)
+        bits, pi = _random_instance(n, rng)
+
+        def error_rate(rate_constant, trials=30):
+            code = build_owners_code(n, rate_constant=rate_constant)
+            protocol = OwnersProtocol(
+                n, pi, NoiseModel.two_sided(1 / 3), code=code
+            )
+            bad = 0
+            for trial in range(trials):
+                channel = CorrelatedNoiseChannel(1 / 3, rng=trial)
+                result = run_protocol(protocol, bits, channel)
+                owners = result.outputs[0].owners
+                ok = set(owners) == {
+                    m for m in range(n) if pi[m] == 1
+                } and all(
+                    bits[owner][pos] == 1
+                    for pos, owner in owners.items()
+                )
+                bad += 0 if ok else 1
+            return bad / trials
+
+        assert error_rate(40.0) <= error_rate(6.0) + 0.05
+
+
+class TestOwnersValidation:
+    def test_bits_pi_length_mismatch(self):
+        protocol = OwnersProtocol(2, (1, 0), NoiseModel(up=0.0, down=0.0))
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                protocol, [(1,), (0, 0)], NoiselessChannel()
+            )
+
+    def test_codebook_size_checked(self):
+        code = build_owners_code(2)
+        with pytest.raises(ConfigurationError):
+            OwnersProtocol(
+                2, (1, 0, 1, 0), NoiseModel(up=0.0, down=0.0), code=code
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for simulation parameters."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationParameters, repetitions_for
+
+
+class TestRepetitionsFor:
+    def test_noiseless_needs_one(self):
+        assert repetitions_for(16, 0.0) == 1
+
+    def test_always_odd(self):
+        for n in (2, 8, 64, 1024):
+            for epsilon in (0.05, 0.1, 0.25, 0.4):
+                assert repetitions_for(n, epsilon) % 2 == 1
+
+    def test_grows_with_n(self):
+        assert repetitions_for(4, 0.1) <= repetitions_for(1024, 0.1)
+
+    def test_grows_with_epsilon(self):
+        assert repetitions_for(64, 0.05) < repetitions_for(64, 0.3)
+
+    def test_logarithmic_shape(self):
+        """Doubling n adds a constant (the Hoeffding log-n term)."""
+        deltas = [
+            repetitions_for(2 * n, 0.1) - repetitions_for(n, 0.1)
+            for n in (8, 16, 32, 64, 128)
+        ]
+        assert max(deltas) - min(deltas) <= 2
+
+    def test_hoeffding_guarantee(self):
+        """exp(-2 r gap^2) <= n^-exponent at the returned r."""
+        for n in (8, 64):
+            for epsilon in (0.1, 0.25):
+                r = repetitions_for(n, epsilon, error_exponent=3.0)
+                gap = 0.5 - epsilon
+                assert math.exp(-2 * r * gap * gap) <= n ** -3.0 * 1.001
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            repetitions_for(8, 0.5)
+        with pytest.raises(ConfigurationError):
+            repetitions_for(8, -0.1)
+
+    def test_n_validation(self):
+        with pytest.raises(ConfigurationError):
+            repetitions_for(0, 0.1)
+
+
+class TestSimulationParameters:
+    def test_defaults_resolve(self):
+        params = SimulationParameters()
+        assert params.resolve_chunk_length(8) == 8
+        assert params.resolve_repetitions(8, 0.1) == repetitions_for(8, 0.1)
+        assert params.resolve_verification_repetitions(
+            8, 0.1
+        ) == repetitions_for(8, 0.1)
+
+    def test_explicit_values_win(self):
+        params = SimulationParameters(
+            repetitions=5, chunk_length=3, verification_repetitions=7
+        )
+        assert params.resolve_repetitions(100, 0.4) == 5
+        assert params.resolve_chunk_length(100) == 3
+        assert params.resolve_verification_repetitions(100, 0.4) == 7
+
+    def test_with_overrides(self):
+        params = SimulationParameters()
+        changed = params.with_overrides(repetitions=9)
+        assert changed.repetitions == 9
+        assert params.repetitions is None  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(repetitions=0)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(chunk_length=0)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(verification_repetitions=-1)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(code_rate_constant=0)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(attempt_slack=0.5)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(attempt_extra=-1)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(rewind_budget_factor=0.9)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(rewind_budget_extra=-2)
+
+    def test_frozen(self):
+        params = SimulationParameters()
+        with pytest.raises(Exception):
+            params.repetitions = 3  # type: ignore[misc]

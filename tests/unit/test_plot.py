@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestAsciiPlot:
+    def test_contains_marks_and_axes(self):
+        plot = ascii_plot([1, 2, 3], [1, 4, 9], width=20, height=6)
+        assert plot.count("*") == 3
+        assert "+--------------------" in plot
+        assert "x: 1 .. 3" in plot
+
+    def test_title_and_labels(self):
+        plot = ascii_plot(
+            [1, 2],
+            [5, 6],
+            title="My plot",
+            x_label="rounds",
+            y_label="succ",
+        )
+        lines = plot.splitlines()
+        assert lines[0] == "My plot"
+        assert "succ" in lines[1]
+        assert "rounds: 1 .. 2" in lines[-1]
+
+    def test_monotone_series_renders_monotone(self):
+        """A strictly increasing series places later marks on higher or
+        equal rows (visual monotonicity)."""
+        plot = ascii_plot(
+            [1, 2, 3, 4], [10, 20, 30, 40], width=40, height=8
+        )
+        grid = [
+            line[1:] for line in plot.splitlines() if line.startswith("|")
+        ]
+        mark_rows = {}
+        for row_index, row in enumerate(grid):
+            for column, char in enumerate(row):
+                if char == "*":
+                    mark_rows[column] = row_index
+        columns = sorted(mark_rows)
+        rows = [mark_rows[c] for c in columns]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_log_x_straightens_log_curve(self):
+        """a + b·log2(n) data should land on (nearly) a straight line in
+        log-x mode: equal column spacing for doubling n."""
+        plot = ascii_plot(
+            [4, 8, 16, 32],
+            [10, 20, 30, 40],
+            width=31,
+            height=8,
+            log_x=True,
+        )
+        grid = [
+            line[1:] for line in plot.splitlines() if line.startswith("|")
+        ]
+        columns = sorted(
+            column
+            for row in grid
+            for column, char in enumerate(row)
+            if char == "*"
+        )
+        gaps = [b - a for a, b in zip(columns, columns[1:])]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_constant_series(self):
+        plot = ascii_plot([1, 2, 3], [5, 5, 5])
+        assert plot.count("*") == 3
+
+    def test_single_point(self):
+        plot = ascii_plot([1], [1])
+        assert plot.count("*") == 1
+
+    def test_scientific_ticks(self):
+        plot = ascii_plot([1, 2], [1e-6, 2e6])
+        assert "e" in plot.splitlines()[0] or "e" in plot
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], [1], width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], [1], mark="ab")
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0, 1], [1, 2], log_x=True)

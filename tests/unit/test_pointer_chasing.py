@@ -1,0 +1,124 @@
+"""Unit tests for the pointer-chasing task (§1.2's nominated instance)."""
+
+import random
+
+import pytest
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    SuppressionNoiseChannel,
+)
+from repro.core import run_protocol
+from repro.errors import ConfigurationError, TaskError
+from repro.simulation import ChunkCommitSimulator, RewindSimulator
+from repro.tasks import PointerChasingTask
+from repro.tasks.pointer_chasing import pointer_chasing_noiseless_protocol
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PointerChasingTask(0, 3)
+        with pytest.raises(ConfigurationError):
+            PointerChasingTask(2, 0)
+        with pytest.raises(ConfigurationError):
+            pointer_chasing_noiseless_protocol(0, 3)
+
+    def test_protocol_length(self):
+        task = PointerChasingTask(depth=5, domain_bits=3)
+        assert task.noiseless_length() == 15
+
+
+class TestReferenceOutput:
+    def test_hand_computed_chase(self):
+        task = PointerChasingTask(depth=3, domain_bits=2)
+        f = (1, 2, 3, 0)  # party 0
+        g = (2, 0, 1, 3)  # party 1
+        # 0 -f-> 1 -g-> 0 -f-> 1
+        assert task.reference_output([f, g]) == 1
+
+    def test_depth_one_is_f_of_zero(self):
+        task = PointerChasingTask(depth=1, domain_bits=2)
+        assert task.reference_output([(3, 0, 0, 0), (0, 0, 0, 0)]) == 3
+
+    def test_validation(self):
+        task = PointerChasingTask(depth=2, domain_bits=2)
+        with pytest.raises(TaskError):
+            task.reference_output([(0, 0, 0, 0)])
+        with pytest.raises(TaskError):
+            task.reference_output([(0, 0), (0, 0, 0, 0)])
+        with pytest.raises(TaskError):
+            task.reference_output([(9, 0, 0, 0), (0, 0, 0, 0)])
+
+
+class TestProtocol:
+    def test_transcript_carries_every_hop(self):
+        task = PointerChasingTask(depth=3, domain_bits=2)
+        f = (1, 2, 3, 0)
+        g = (2, 0, 1, 3)
+        result = run_protocol(
+            task.noiseless_protocol(), [f, g], NoiselessChannel()
+        )
+        # Hops: f(0)=1, g(1)=0, f(0)=1 -> bits 01 | 00 | 01.
+        assert result.transcript.common_view() == (0, 1, 0, 0, 0, 1)
+        assert result.outputs == [1, 1]
+
+    def test_silent_party_during_others_step(self):
+        task = PointerChasingTask(depth=2, domain_bits=2)
+        result = run_protocol(
+            task.noiseless_protocol(),
+            [(3, 3, 3, 3), (3, 3, 3, 3)],
+            NoiselessChannel(),
+        )
+        # Step 0 (rounds 0-1) belongs to party 0: party 1 silent.
+        assert result.transcript.sent_bits(1)[:2] == (0, 0)
+        # Step 1 (rounds 2-3) belongs to party 1: party 0 silent.
+        assert result.transcript.sent_bits(0)[2:] == (0, 0)
+
+    def test_correct_on_random_instances(self, rng):
+        task = PointerChasingTask(depth=6, domain_bits=3)
+        for _ in range(30):
+            inputs = task.sample_inputs(rng)
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, NoiselessChannel()
+            )
+            assert task.is_correct(inputs, result.outputs)
+
+    def test_noise_derails_the_chase(self, rng):
+        """A single corrupted pointer bit sends the rest of the chase
+        down a wrong path — the error *propagates*, unlike InputSet's
+        independent rounds.  Unprotected success collapses."""
+        task = PointerChasingTask(depth=6, domain_bits=3)
+        wins = 0
+        trials = 30
+        for trial in range(trials):
+            inputs = task.sample_inputs(rng)
+            result = run_protocol(
+                task.noiseless_protocol(),
+                inputs,
+                CorrelatedNoiseChannel(0.15, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins <= trials * 0.5
+
+    def test_simulators_restore_the_chase(self, rng):
+        task = PointerChasingTask(depth=4, domain_bits=3)
+        chunk_wins = 0
+        rewind_wins = 0
+        for trial in range(10):
+            inputs = task.sample_inputs(rng)
+            chunk = ChunkCommitSimulator().simulate(
+                task.noiseless_protocol(),
+                inputs,
+                CorrelatedNoiseChannel(0.15, rng=trial),
+            )
+            rewind = RewindSimulator().simulate(
+                task.noiseless_protocol(),
+                inputs,
+                SuppressionNoiseChannel(0.1, rng=trial),
+            )
+            chunk_wins += task.is_correct(inputs, chunk.outputs)
+            rewind_wins += task.is_correct(inputs, rewind.outputs)
+        assert chunk_wins >= 9
+        assert rewind_wins >= 9

@@ -1,0 +1,70 @@
+"""Unit tests for the simulation sub-coroutines."""
+
+from repro.simulation.primitives import (
+    repeated_bit,
+    silent_rounds,
+    transmit_word,
+)
+
+
+def _drive(generator, channel_bits):
+    """Run a sub-coroutine feeding it scripted channel bits; return
+    (beeped bits, return value)."""
+    beeped = []
+    try:
+        beeped.append(next(generator))
+        for bit in channel_bits:
+            beeped.append(generator.send(bit))
+    except StopIteration as stop:
+        return beeped, stop.value
+    raise AssertionError("generator did not finish on scripted input")
+
+
+class TestRepeatedBit:
+    def test_beeps_bit_every_round(self):
+        beeped, _ = _drive(repeated_bit(1, 3), [1, 1, 1])
+        assert beeped == [1, 1, 1]
+
+    def test_majority_decoding(self):
+        _, decoded = _drive(repeated_bit(0, 3), [1, 0, 1])
+        assert decoded == 1
+        _, decoded = _drive(repeated_bit(0, 3), [0, 1, 0])
+        assert decoded == 0
+
+    def test_tie_goes_to_zero(self):
+        _, decoded = _drive(repeated_bit(0, 4), [1, 1, 0, 0])
+        assert decoded == 0
+
+    def test_single_repetition(self):
+        beeped, decoded = _drive(repeated_bit(1, 1), [0])
+        assert beeped == [1]
+        assert decoded == 0
+
+
+class TestTransmitWord:
+    def test_beeps_word_in_order(self):
+        beeped, _ = _drive(transmit_word((1, 0, 1)), [1, 0, 1])
+        assert beeped == [1, 0, 1]
+
+    def test_returns_received_word(self):
+        _, received = _drive(transmit_word((0, 0, 0)), [1, 0, 1])
+        assert received == (1, 0, 1)
+
+    def test_empty_word(self):
+        generator = transmit_word(())
+        try:
+            next(generator)
+        except StopIteration as stop:
+            assert stop.value == ()
+        else:
+            raise AssertionError("empty word should finish immediately")
+
+
+class TestSilentRounds:
+    def test_beeps_zeros(self):
+        beeped, _ = _drive(silent_rounds(3), [0, 1, 0])
+        assert beeped == [0, 0, 0]
+
+    def test_returns_heard_bits(self):
+        _, heard = _drive(silent_rounds(2), [1, 1])
+        assert heard == (1, 1)

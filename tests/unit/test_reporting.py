@@ -1,0 +1,63 @@
+"""Unit tests for report generation and the new CLI commands."""
+
+import pytest
+
+from repro.analysis import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    def test_restricted_report_structure(self):
+        report = generate_report(scale=0.3, only=["E5"])
+        assert "# Noisy Beeps — experiment report" in report
+        assert "## Summary" in report
+        assert "## E5 —" in report
+        assert "- [x]" in report  # passing checks rendered
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(scale=0.3, only=["E5"], progress=seen.append)
+        assert seen == ["E5"]
+
+    def test_ids_sorted_numerically(self):
+        report = generate_report(scale=0.3, only=["E12", "E5"])
+        assert report.index("## E5 —") < report.index("## E12 —")
+
+
+class TestCliRunExperiment:
+    def test_pass_exit_code(self, capsys):
+        code = main(["run-experiment", "E5", "--scale", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS]" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run-experiment", "E99"])
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--only",
+                "E5",
+                "--scale",
+                "0.3",
+                "-o",
+                str(target),
+            ]
+        )
+        assert code == 0
+        content = target.read_text()
+        assert "## E5 —" in content
+
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--only", "E12", "--scale", "0.4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "## E12 —" in out

@@ -1,0 +1,51 @@
+"""Unit tests for :mod:`repro.rng`."""
+
+import random
+
+from repro.rng import derive_seed, ensure_rng, spawn, spawn_many
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "noise") == derive_seed(7, "noise")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(7, "noise") != derive_seed(7, "inputs")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(7, "noise") != derive_seed(8, "noise")
+
+    def test_fits_64_bits(self):
+        for seed in (0, 1, 2**63):
+            assert 0 <= derive_seed(seed, "x") < 2**64
+
+
+class TestSpawn:
+    def test_same_label_same_stream(self):
+        a = [spawn(1, "a").random() for _ in range(3)]
+        b = [spawn(1, "a").random() for _ in range(3)]
+        assert a == b
+
+    def test_different_labels_differ(self):
+        assert spawn(1, "a").random() != spawn(1, "b").random()
+
+    def test_spawn_many_streams_are_distinct(self):
+        streams = list(spawn_many(5, "workers", 4))
+        values = [stream.random() for stream in streams]
+        assert len(set(values)) == 4
+
+    def test_spawn_many_count(self):
+        assert len(list(spawn_many(0, "x", 7))) == 7
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        generator = random.Random(3)
+        assert ensure_rng(generator) is generator
+
+    def test_int_seed(self):
+        assert ensure_rng(3).random() == random.Random(3).random()
+
+    def test_none_gives_generator(self):
+        generator = ensure_rng(None)
+        assert isinstance(generator, random.Random)

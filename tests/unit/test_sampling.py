@@ -1,0 +1,75 @@
+"""Unit tests for the Monte-Carlo ζ estimator."""
+
+import pytest
+
+from repro.core.formal import NoiseModel
+from repro.errors import ConfigurationError
+from repro.lowerbound import (
+    LowerBoundAnalyzer,
+    estimate_zeta,
+    sample_zeta_points,
+    theory,
+)
+from repro.tasks.input_set import input_set_formal_protocol
+
+
+class TestSampleZetaPoints:
+    def test_sample_count(self):
+        protocol = input_set_formal_protocol(3)
+        points = sample_zeta_points(protocol, 1 / 3, samples=20, seed=0)
+        assert len(points) == 20
+
+    def test_samples_have_positive_probability(self):
+        """Pairs drawn by executing the protocol are by construction in
+        the support of the joint distribution."""
+        protocol = input_set_formal_protocol(3)
+        for point in sample_zeta_points(protocol, 1 / 3, 30, seed=1):
+            assert point.probability > 0.0
+
+    def test_reproducible(self):
+        protocol = input_set_formal_protocol(3)
+        a = sample_zeta_points(protocol, 1 / 3, 10, seed=7)
+        b = sample_zeta_points(protocol, 1 / 3, 10, seed=7)
+        assert [p.zeta for p in a] == [p.zeta for p in b]
+
+    def test_validation(self):
+        protocol = input_set_formal_protocol(2)
+        with pytest.raises(ConfigurationError):
+            sample_zeta_points(protocol, 1 / 3, samples=0)
+
+
+class TestEstimateZeta:
+    def test_c2_never_violated_at_n8(self):
+        """Theorem C.2 pointwise, at a size the exact enumerator cannot
+        reach: 300 sampled pairs, zero cap violations."""
+        protocol = input_set_formal_protocol(8)
+        cap = theory.c2_zeta_bound(8, protocol.length())
+        summary = estimate_zeta(
+            protocol, 1 / 3, samples=300, seed=2, c2_cap=cap
+        )
+        assert summary.c2_violations == 0
+        assert summary.max_zeta_in_good <= cap
+
+    def test_good_event_rate_is_high(self):
+        """Lemma C.5's floor (1/3) is comfortably exceeded by the naive
+        protocol's executions."""
+        protocol = input_set_formal_protocol(6)
+        summary = estimate_zeta(protocol, 1 / 3, samples=200, seed=3)
+        assert summary.good_event_rate >= 0.5
+
+    def test_agrees_with_exact_analyzer_at_n2(self):
+        """The Monte-Carlo estimate of E[ζ | 𝒢] converges to the exact
+        enumeration's value."""
+        protocol = input_set_formal_protocol(2)
+        exact = LowerBoundAnalyzer(
+            protocol, NoiseModel.one_sided(1 / 3)
+        ).expected_zeta_given_good()
+        summary = estimate_zeta(protocol, 1 / 3, samples=1500, seed=4)
+        assert summary.mean_zeta_given_good == pytest.approx(
+            exact, rel=0.15
+        )
+
+    def test_no_cap_counts_zero_violations(self):
+        protocol = input_set_formal_protocol(3)
+        summary = estimate_zeta(protocol, 1 / 3, samples=20, seed=5)
+        assert summary.c2_violations == 0

@@ -1,0 +1,144 @@
+"""Unit tests for the protocol-level A.1.2 reduction (shared randomness)."""
+
+import random
+
+import pytest
+
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+)
+from repro.core import run_protocol
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simulation import OneSidedReductionProtocol
+from repro.simulation.repetition_sim import RepetitionWrappedProtocol
+from repro.tasks import InputSetTask, ParityTask
+
+
+class TestConstruction:
+    def test_p_down_validated(self):
+        inner = ParityTask(2).noiseless_protocol()
+        with pytest.raises(ConfigurationError):
+            OneSidedReductionProtocol(inner, p_down=1.0)
+
+    def test_length_passthrough(self):
+        inner = ParityTask(3).noiseless_protocol()
+        assert OneSidedReductionProtocol(inner).length() == 3
+
+    def test_shared_seed_required(self):
+        inner = ParityTask(2).noiseless_protocol()
+        wrapped = OneSidedReductionProtocol(inner)
+        with pytest.raises(ProtocolError):
+            wrapped.create_parties([0, 1], shared_seed=None)
+
+
+class TestSemantics:
+    def test_noiseless_with_zero_pdown_is_transparent(self, rng):
+        task = ParityTask(4)
+        wrapped = OneSidedReductionProtocol(
+            task.noiseless_protocol(), p_down=0.0
+        )
+        inputs = task.sample_inputs(rng)
+        result = run_protocol(
+            wrapped, inputs, NoiselessChannel(), shared_seed=7
+        )
+        assert task.is_correct(inputs, result.outputs)
+
+    def test_flips_are_shared(self, rng):
+        """All parties apply the identical down-flip pattern, so their
+        inner views agree and outputs stay unanimous even when flips
+        corrupt the answer."""
+        task = InputSetTask(5)
+        wrapped = OneSidedReductionProtocol(
+            task.noiseless_protocol(), p_down=0.5
+        )
+        for trial in range(20):
+            inputs = task.sample_inputs(rng)
+            result = run_protocol(
+                wrapped,
+                inputs,
+                OneSidedNoiseChannel(1 / 3, rng=trial),
+                shared_seed=trial,
+            )
+            assert result.outputs_agree()
+
+    def test_emulated_law_matches_two_sided_quarter(self):
+        """Statistical check of A.1.2: the wrapped execution's *inner*
+        per-round law over the one-sided 1/3 channel matches the direct
+        two-sided 1/4 channel.
+
+        Probe protocol: one party beeps a fixed bit for many rounds; the
+        inner output records the received bits.
+        """
+        from repro.core import FunctionalProtocol
+
+        rounds = 4000
+
+        def make_probe(fixed_bit):
+            return FunctionalProtocol(
+                n_parties=2,
+                length=rounds,
+                broadcast=lambda i, x, p: fixed_bit if i == 0 else 0,
+                output=lambda i, x, received: sum(received),
+            )
+
+        for fixed_bit, expected_ones in ((0, 0.25), (1, 0.75)):
+            wrapped = OneSidedReductionProtocol(make_probe(fixed_bit))
+            result = run_protocol(
+                wrapped,
+                [None, None],
+                OneSidedNoiseChannel(1 / 3, rng=fixed_bit),
+                shared_seed=99,
+            )
+            rate = result.outputs[0] / rounds
+            assert rate == pytest.approx(expected_ones, abs=0.03)
+
+    def test_reduction_restores_simulator_guarantees(self, rng):
+        """Compose: repetition-harden InputSet (designed for two-sided
+        1/4), wrap with the reduction, run over one-sided 1/3 — success
+        should be close to running the same hardened protocol directly
+        over two-sided 1/4."""
+        task = InputSetTask(4)
+        hardened = RepetitionWrappedProtocol(
+            task.noiseless_protocol(), repetitions=15
+        )
+        wrapped = OneSidedReductionProtocol(hardened)
+        reduced_wins = 0
+        direct_wins = 0
+        trials = 20
+        for trial in range(trials):
+            inputs = task.sample_inputs(rng)
+            reduced = run_protocol(
+                wrapped,
+                inputs,
+                OneSidedNoiseChannel(1 / 3, rng=trial),
+                shared_seed=trial,
+            )
+            direct = run_protocol(
+                hardened,
+                inputs,
+                CorrelatedNoiseChannel(0.25, rng=trial),
+            )
+            reduced_wins += task.is_correct(inputs, reduced.outputs)
+            direct_wins += task.is_correct(inputs, direct.outputs)
+        assert abs(reduced_wins - direct_wins) <= trials * 0.25
+        assert reduced_wins >= trials * 0.6
+
+    def test_deterministic_given_seeds(self, rng):
+        task = ParityTask(3)
+        wrapped = OneSidedReductionProtocol(task.noiseless_protocol())
+        inputs = task.sample_inputs(rng)
+        a = run_protocol(
+            wrapped,
+            inputs,
+            OneSidedNoiseChannel(1 / 3, rng=5),
+            shared_seed=11,
+        )
+        b = run_protocol(
+            wrapped,
+            inputs,
+            OneSidedNoiseChannel(1 / 3, rng=5),
+            shared_seed=11,
+        )
+        assert a.outputs == b.outputs

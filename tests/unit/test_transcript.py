@@ -1,0 +1,105 @@
+"""Unit tests for transcripts and round records."""
+
+import pytest
+
+from repro.core.transcript import RoundRecord, Transcript
+from repro.errors import TranscriptError
+
+
+def _record(sent, received):
+    or_value = 1 if any(sent) else 0
+    return RoundRecord(sent=tuple(sent), or_value=or_value, received=tuple(received))
+
+
+class TestRoundRecord:
+    def test_common_view(self):
+        record = _record((1, 0), (1, 1))
+        assert record.common == 1
+
+    def test_common_raises_on_divergence(self):
+        record = _record((1, 0), (1, 0))
+        with pytest.raises(TranscriptError):
+            record.common
+
+    def test_noisy_detection(self):
+        assert _record((0, 0), (1, 1)).noisy
+        assert not _record((1, 0), (1, 1)).noisy
+
+    def test_partial_divergence_is_noisy(self):
+        assert _record((1, 0), (1, 0)).noisy
+
+
+class TestTranscript:
+    def test_append_and_len(self):
+        transcript = Transcript(2)
+        transcript.append(_record((1, 0), (1, 1)))
+        transcript.append(_record((0, 0), (0, 0)))
+        assert len(transcript) == 2
+
+    def test_indexing_and_iteration(self):
+        transcript = Transcript(2)
+        records = [_record((1, 0), (1, 1)), _record((0, 0), (0, 0))]
+        for record in records:
+            transcript.append(record)
+        assert transcript[0] is records[0]
+        assert list(transcript) == records
+
+    def test_common_view(self):
+        transcript = Transcript(2)
+        transcript.append(_record((1, 0), (1, 1)))
+        transcript.append(_record((0, 0), (0, 0)))
+        assert transcript.common_view() == (1, 0)
+
+    def test_party_view(self):
+        transcript = Transcript(2)
+        transcript.append(RoundRecord(sent=(0, 0), or_value=0, received=(1, 0)))
+        assert transcript.view(0) == (1,)
+        assert transcript.view(1) == (0,)
+
+    def test_view_index_validation(self):
+        transcript = Transcript(2)
+        with pytest.raises(TranscriptError):
+            transcript.view(2)
+        with pytest.raises(TranscriptError):
+            transcript.view(-1)
+
+    def test_or_values(self):
+        transcript = Transcript(2)
+        transcript.append(_record((1, 1), (1, 1)))
+        transcript.append(_record((0, 0), (1, 1)))
+        assert transcript.or_values() == (1, 0)
+
+    def test_sent_bits(self):
+        transcript = Transcript(2)
+        transcript.append(_record((1, 0), (1, 1)))
+        transcript.append(_record((0, 1), (1, 1)))
+        assert transcript.sent_bits(0) == (1, 0)
+        assert transcript.sent_bits(1) == (0, 1)
+
+    def test_sent_bits_requires_recording(self):
+        transcript = Transcript(1)
+        transcript.append(RoundRecord(sent=None, or_value=0, received=(0,)))
+        with pytest.raises(TranscriptError):
+            transcript.sent_bits(0)
+
+    def test_noise_positions(self):
+        transcript = Transcript(1)
+        transcript.append(RoundRecord(sent=(0,), or_value=0, received=(1,)))
+        transcript.append(RoundRecord(sent=(0,), or_value=0, received=(0,)))
+        transcript.append(RoundRecord(sent=(1,), or_value=1, received=(0,)))
+        assert transcript.noise_positions() == (0, 2)
+
+    def test_arity_validation(self):
+        transcript = Transcript(2)
+        with pytest.raises(TranscriptError):
+            transcript.append(
+                RoundRecord(sent=(1,), or_value=1, received=(1, 1))
+            )
+        with pytest.raises(TranscriptError):
+            transcript.append(
+                RoundRecord(sent=None, or_value=1, received=(1,))
+            )
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(TranscriptError):
+            Transcript(0)

@@ -1,0 +1,58 @@
+"""Unit tests for the transcript ASCII renderer."""
+
+from repro.channels import NoiselessChannel, ScriptedChannel
+from repro.core import run_protocol
+from repro.tasks import InputSetTask, ParityTask
+
+
+class TestRender:
+    def test_shows_beeps_and_or(self):
+        task = ParityTask(3)
+        result = run_protocol(
+            task.noiseless_protocol(), [1, 0, 1], NoiselessChannel()
+        )
+        rendered = result.transcript.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "party 0 |#..|"
+        assert lines[1] == "party 1 |...|"
+        assert lines[2] == "party 2 |..#|"
+        assert "OR      |#.#|" in rendered
+        assert "heard   |#.#|" in rendered
+
+    def test_marks_noise(self):
+        task = ParityTask(2)
+        channel = ScriptedChannel(flip_rounds=[1])
+        result = run_protocol(
+            task.noiseless_protocol(), [0, 0], channel
+        )
+        rendered = result.transcript.render()
+        noise_line = [
+            line for line in rendered.splitlines() if "noise" in line
+        ][0]
+        assert noise_line == "noise   | !|"
+
+    def test_without_sent_recording_shows_channel_rows_only(self):
+        task = ParityTask(2)
+        result = run_protocol(
+            task.noiseless_protocol(),
+            [1, 0],
+            NoiselessChannel(),
+            record_sent=False,
+        )
+        rendered = result.transcript.render()
+        assert "party" not in rendered
+        assert "OR" in rendered
+
+    def test_truncation(self):
+        task = InputSetTask(4)  # 8 rounds
+        result = run_protocol(
+            task.noiseless_protocol(), [1, 2, 3, 4], NoiselessChannel()
+        )
+        rendered = result.transcript.render(max_rounds=3)
+        assert "5 more rounds" in rendered
+
+    def test_empty_transcript(self):
+        from repro.core.transcript import Transcript
+
+        rendered = Transcript(2).render()
+        assert "OR      ||" in rendered
