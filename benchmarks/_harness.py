@@ -12,6 +12,7 @@ Each experiment Ek (see DESIGN.md §3) is a pytest-benchmark test that
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -24,3 +25,28 @@ def emit(experiment_id: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment_id.lower().replace(' ', '_')}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+
+
+def workers_from_env() -> int:
+    """Trial-runner workers for the benchmark session.
+
+    ``REPRO_WORKERS=N`` fans every experiment's Monte-Carlo sweeps out
+    over an N-worker process pool.  Results (and hence every persisted
+    table) are bitwise identical to a serial run — the per-trial seeding
+    contract in :mod:`repro.parallel` guarantees it — so this is purely a
+    wall-clock knob.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def runner_from_env():
+    """A :class:`repro.parallel.TrialRunner` honouring ``REPRO_WORKERS``."""
+    from repro.parallel import make_runner
+
+    return make_runner(workers_from_env())

@@ -9,12 +9,22 @@ regression here multiplies through every experiment.
 
 from __future__ import annotations
 
+import os
 import random
+import time
 
+from repro.analysis import estimate_success
 from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
 from repro.coding import GreedyRandomCode, MLDecoder
 from repro.core import run_protocol
 from repro.core.formal import NoiseModel
+from repro.parallel import (
+    ChannelSpec,
+    ProcessPoolRunner,
+    SerialRunner,
+    SimulationExecutor,
+    SimulatorSpec,
+)
 from repro.tasks import InputSetTask
 from repro.simulation import ChunkCommitSimulator
 
@@ -83,3 +93,43 @@ def test_full_simulation(benchmark):
 
     result = benchmark(simulate)
     assert task.is_correct(inputs, result.outputs)
+
+
+def test_parallel_sweep_speedup():
+    """Serial vs 4-worker process-pool sweep over the E1 unit of work.
+
+    Asserts the determinism contract (byte-identical ``to_dict``) always,
+    and the >= 2x wall-clock speedup at 4 workers whenever the hardware
+    has the cores to show it.
+    """
+    task = InputSetTask(8)
+    executor = SimulationExecutor(
+        task=task,
+        channel=ChannelSpec.of(CorrelatedNoiseChannel, 0.1),
+        simulator=SimulatorSpec.of(ChunkCommitSimulator),
+    )
+    trials = 24
+
+    start = time.perf_counter()
+    serial = estimate_success(
+        task, executor, trials, seed=3, runner=SerialRunner()
+    )
+    serial_elapsed = time.perf_counter() - start
+
+    with ProcessPoolRunner(workers=4, chunk_size=3) as runner:
+        start = time.perf_counter()
+        parallel = estimate_success(
+            task, executor, trials, seed=3, runner=runner
+        )
+        parallel_elapsed = time.perf_counter() - start
+        assert runner.last_fallback_reason is None
+
+    assert parallel.to_dict() == serial.to_dict()
+    speedup = serial_elapsed / parallel_elapsed
+    print(
+        f"\nparallel sweep: serial {serial_elapsed:.2f}s, "
+        f"4 workers {parallel_elapsed:.2f}s, speedup x{speedup:.2f}, "
+        f"utilization {parallel.timing['utilization']:.2f}"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

@@ -4,3 +4,25 @@ The benchmarks are Monte-Carlo experiment harnesses, not microbenchmarks:
 each runs once per session (``pedantic`` with one round) and its wall time
 is reported by pytest-benchmark for the record.
 """
+
+import pytest
+
+from _harness import runner_from_env
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _trial_runner():
+    """Install the session-wide trial runner (``REPRO_WORKERS=N``).
+
+    Experiments whose executors are picklable fan their sweeps out over
+    one shared process pool; everything else transparently stays serial.
+    Either way the persisted result tables are bitwise identical.
+    """
+    from repro.parallel import use_runner
+
+    runner = runner_from_env()
+    try:
+        with use_runner(runner):
+            yield runner
+    finally:
+        runner.close()

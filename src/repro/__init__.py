@@ -86,6 +86,18 @@ from repro.tasks import (
     SizeEstimateTask,
     Task,
 )
+from repro.parallel import (
+    ChannelSpec,
+    ProcessPoolRunner,
+    ProtocolExecutor,
+    SerialRunner,
+    SimulationExecutor,
+    SimulatorSpec,
+    TrialRunner,
+    make_runner,
+    set_default_runner,
+    use_runner,
+)
 from repro.lowerbound import LowerBoundAnalyzer
 from repro.errors import (
     ChannelError,
@@ -161,6 +173,17 @@ __all__ = [
     "MaxIdTask",
     "SizeEstimateTask",
     "PointerChasingTask",
+    # parallel trial running
+    "TrialRunner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "make_runner",
+    "set_default_runner",
+    "use_runner",
+    "ChannelSpec",
+    "SimulatorSpec",
+    "ProtocolExecutor",
+    "SimulationExecutor",
     # lower bound
     "LowerBoundAnalyzer",
     # errors

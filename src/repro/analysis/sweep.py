@@ -9,6 +9,16 @@ Executors receive ``(inputs, trial_seed)`` and return an
 :class:`~repro.core.result.ExecutionResult`; they are expected to construct
 their own channel from ``trial_seed`` so every trial is independent and the
 whole sweep is reproducible from one master seed.
+
+Trial execution is delegated to a pluggable
+:class:`~repro.parallel.runner.TrialRunner` (pass ``runner=`` or install a
+process-wide default with :func:`repro.parallel.use_runner`).  Because a
+trial's randomness depends only on ``(seed, trial index)`` and aggregation
+happens here in index order, every backend — serial or process pool, any
+worker count, any chunk size — produces bitwise identical
+:class:`SweepPoint` values.  Wall-clock measurements go to
+:attr:`SweepPoint.timing`, which ``to_dict()`` excludes by default so
+serialized results stay backend-independent.
 """
 
 from __future__ import annotations
@@ -19,7 +29,8 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.analysis.stats import ProportionEstimate, mean
 from repro.core.result import ExecutionResult
 from repro.errors import ConfigurationError
-from repro.rng import derive_seed, spawn
+from repro.parallel import TrialBatch, TrialRunner, get_default_runner
+from repro.rng import derive_seed
 from repro.tasks.base import Task
 
 __all__ = ["SweepPoint", "estimate_success", "success_curve", "overhead_curve"]
@@ -36,7 +47,12 @@ class SweepPoint:
         success: Success-probability estimate with its Wilson interval.
         mean_rounds: Mean channel rounds per trial.
         mean_overhead: Mean ``rounds / noiseless_length`` per trial.
-        extras: Aggregated simulator metadata (mean retries etc.).
+        extras: Aggregated simulator metadata (mean retries etc.) and
+            per-trial channel-stat means — deterministic, backend-agnostic.
+        timing: Runner wall-clock bookkeeping (``trials_per_s``,
+            ``utilization``, ``fallback`` ...).  Excluded from
+            :meth:`to_dict` by default: timing differs run to run, the
+            measurement must not.
     """
 
     params: dict[str, Any]
@@ -44,11 +60,16 @@ class SweepPoint:
     mean_rounds: float
     mean_overhead: float
     extras: dict[str, float] = field(default_factory=dict)
+    timing: dict[str, float] = field(default_factory=dict)
 
-    def to_dict(self) -> dict[str, Any]:
-        """A JSON-serialisable view (for results artifacts and logs)."""
+    def to_dict(self, include_timing: bool = False) -> dict[str, Any]:
+        """A JSON-serialisable view (for results artifacts and logs).
+
+        Deterministic for a fixed seed regardless of the trial runner;
+        opt into the wall-clock numbers with ``include_timing=True``.
+        """
         low, high = self.success.interval
-        return {
+        payload: dict[str, Any] = {
             "params": dict(self.params),
             "success": self.success.value,
             "success_interval": [low, high],
@@ -58,6 +79,51 @@ class SweepPoint:
             "mean_overhead": self.mean_overhead,
             "extras": dict(self.extras),
         }
+        if include_timing:
+            payload["timing"] = dict(self.timing)
+        return payload
+
+
+def _aggregate_batch(
+    batch: TrialBatch,
+    trials: int,
+    noiseless_length: int,
+    params: dict[str, Any] | None,
+) -> SweepPoint:
+    """Fold a batch of trial records into a :class:`SweepPoint`.
+
+    Shared by every runner backend — aggregation order is trial-index
+    order, so identical records give identical floats.
+    """
+    records = batch.records
+    successes = sum(1 for record in records if record.success)
+    rounds = [record.rounds for record in records]
+    retry_totals = [
+        record.chunk_attempts
+        for record in records
+        if record.chunk_attempts is not None
+    ]
+    completed = sum(1 for record in records if record.completed)
+    extras: dict[str, float] = {}
+    if retry_totals:
+        extras["mean_chunk_attempts"] = mean(retry_totals)
+        extras["completion_rate"] = completed / trials
+    # Channel-counter aggregates: computed from the same records on every
+    # backend, so a runner that mishandled trials could not drift silently.
+    extras["mean_channel_flips"] = mean(
+        [float(record.flips) for record in records]
+    )
+    extras["mean_beeps_sent"] = mean(
+        [float(record.beeps_sent) for record in records]
+    )
+    return SweepPoint(
+        params=dict(params or {}),
+        success=ProportionEstimate(successes=successes, trials=trials),
+        mean_rounds=mean(rounds),
+        mean_overhead=mean(rounds) / noiseless_length,
+        extras=extras,
+        timing=dict(batch.timing),
+    )
 
 
 def estimate_success(
@@ -67,43 +133,24 @@ def estimate_success(
     *,
     seed: int = 0,
     params: dict[str, Any] | None = None,
+    runner: TrialRunner | None = None,
 ) -> SweepPoint:
     """Run ``trials`` independent executions and aggregate.
 
     Each trial gets inputs from ``task.sample_inputs`` (seeded sub-stream)
     and a distinct ``trial_seed`` for the executor's channel/protocol
     randomness.  Success is ``task.is_correct(inputs, outputs)``.
+
+    ``runner`` picks the execution backend (default: the process-wide
+    default runner, serial unless installed otherwise); the estimate is
+    bitwise independent of that choice.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
     noiseless_length = max(1, task.noiseless_length())
-    successes = 0
-    rounds: list[float] = []
-    retry_totals: list[float] = []
-    completed = 0
-    for trial in range(trials):
-        inputs = task.sample_inputs(spawn(seed, f"inputs[{trial}]"))
-        trial_seed = derive_seed(seed, f"trial[{trial}]")
-        result = executor(inputs, trial_seed)
-        if task.is_correct(inputs, result.outputs):
-            successes += 1
-        rounds.append(float(result.rounds))
-        report = result.metadata.get("report")
-        if report is not None:
-            retry_totals.append(float(report.chunk_attempts))
-            if report.completed:
-                completed += 1
-    extras: dict[str, float] = {}
-    if retry_totals:
-        extras["mean_chunk_attempts"] = mean(retry_totals)
-        extras["completion_rate"] = completed / trials
-    return SweepPoint(
-        params=dict(params or {}),
-        success=ProportionEstimate(successes=successes, trials=trials),
-        mean_rounds=mean(rounds),
-        mean_overhead=mean(rounds) / noiseless_length,
-        extras=extras,
-    )
+    active = runner if runner is not None else get_default_runner()
+    batch = active.run_trials(task, executor, trials, seed=seed)
+    return _aggregate_batch(batch, trials, noiseless_length, params)
 
 
 PointBuilder = Callable[[Any], tuple[Task, Executor, dict[str, Any]]]
@@ -115,11 +162,13 @@ def success_curve(
     trials: int,
     *,
     seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> list[SweepPoint]:
     """Sweep a grid: ``point_builder(value) -> (task, executor, params)``.
 
     Each grid point gets a derived seed so points are independent but the
-    curve is reproducible.
+    curve is reproducible.  A pooled ``runner`` is reused across grid
+    points, so worker startup is paid once per curve.
     """
     points: list[SweepPoint] = []
     for index, value in enumerate(values):
@@ -131,6 +180,7 @@ def success_curve(
                 trials,
                 seed=derive_seed(seed, f"point[{index}]"),
                 params=params,
+                runner=runner,
             )
         )
     return points
@@ -142,11 +192,14 @@ def overhead_curve(
     trials: int,
     *,
     seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> list[tuple[Any, float]]:
     """Like :func:`success_curve` but return ``(value, mean_overhead)``
     pairs — the series the Θ(log n) fits consume."""
     values = list(values)
-    points = success_curve(values, point_builder, trials, seed=seed)
+    points = success_curve(
+        values, point_builder, trials, seed=seed, runner=runner
+    )
     return [
         (value, point.mean_overhead)
         for value, point in zip(values, points)

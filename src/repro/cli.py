@@ -146,6 +146,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.parallel import (
+        ChannelSpec,
+        SimulationExecutor,
+        SimulatorSpec,
+        make_runner,
+    )
+
     ns = args.ns
     simulator_cls = _SIMULATORS[args.simulator]
     if simulator_cls is None:
@@ -153,28 +160,40 @@ def cmd_overhead(args: argparse.Namespace) -> int:
         return 2
     rows = []
     overheads = []
-    for n in ns:
-        task = InputSetTask(n)
-        simulator = simulator_cls()
-
-        def executor(inputs, trial_seed, _task=task, _sim=simulator):
-            channel = CorrelatedNoiseChannel(args.epsilon, rng=trial_seed)
-            return _sim.simulate(
-                _task.noiseless_protocol(), inputs, channel
+    trials_per_s = []
+    runner = make_runner(args.workers)
+    try:
+        for n in ns:
+            task = InputSetTask(n)
+            # Picklable executor so --workers > 1 can fan trials out to a
+            # process pool; results are identical for every worker count.
+            executor = SimulationExecutor(
+                task=task,
+                channel=ChannelSpec.of(
+                    CorrelatedNoiseChannel, args.epsilon
+                ),
+                simulator=SimulatorSpec.of(simulator_cls),
             )
 
-        point = estimate_success(
-            task, executor, trials=args.trials, seed=args.seed + n
-        )
-        overheads.append(point.mean_overhead)
-        rows.append(
-            [
-                n,
-                2 * n,
-                f"{point.mean_overhead:.1f}",
-                f"{point.success.value:.2f}",
-            ]
-        )
+            point = estimate_success(
+                task,
+                executor,
+                trials=args.trials,
+                seed=args.seed + n,
+                runner=runner,
+            )
+            overheads.append(point.mean_overhead)
+            trials_per_s.append(point.timing.get("trials_per_s", 0.0))
+            rows.append(
+                [
+                    n,
+                    2 * n,
+                    f"{point.mean_overhead:.1f}",
+                    f"{point.success.value:.2f}",
+                ]
+            )
+    finally:
+        runner.close()
     print(format_table(
         ["n", "noiseless T", "overhead", "success"],
         rows,
@@ -188,6 +207,12 @@ def cmd_overhead(args: argparse.Namespace) -> int:
         print(
             f"fit: overhead = {fit.intercept:.1f} + "
             f"{fit.slope:.1f} * log2(n)   R^2 = {fit.r_squared:.3f}"
+        )
+    if args.workers > 1 and trials_per_s:
+        print(
+            f"runner: {args.workers} workers, "
+            f"{sum(trials_per_s) / len(trials_per_s):.1f} trials/s "
+            "per grid point"
         )
     return 0
 
@@ -212,7 +237,10 @@ def cmd_run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import run_experiment
 
     result = run_experiment(
-        args.experiment, seed=args.seed, scale=args.scale
+        args.experiment,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
     )
     print(result.summary())
     return 0 if result.all_passed else 1
@@ -228,6 +256,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         progress=lambda identifier: print(
             f"running {identifier} ...", file=sys.stderr
         ),
+        workers=args.workers,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -293,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     overhead.add_argument("--trials", type=int, default=3)
     overhead.add_argument("--seed", type=int, default=0)
+    overhead.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial-runner workers (process pool when > 1; results are "
+        "identical for any worker count)",
+    )
     overhead.set_defaults(func=cmd_overhead)
 
     experiments = subparsers.add_parser(
@@ -313,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trial multiplier (< 1 for a quick look)",
     )
     run_exp.add_argument("--seed", type=int, default=0)
+    run_exp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial-runner workers for the experiment's sweeps",
+    )
     run_exp.set_defaults(func=cmd_run_experiment)
 
     report = subparsers.add_parser(
@@ -325,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="trial multiplier"
     )
     report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial-runner workers shared by all experiments",
+    )
     report.add_argument(
         "-o", "--output", help="output file (default: stdout)"
     )

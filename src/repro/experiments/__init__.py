@@ -18,8 +18,12 @@ Consumers:
 from __future__ import annotations
 
 from types import ModuleType
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.runner import TrialRunner
 from repro.experiments import (
     e01_overhead,
     e02_budget,
@@ -78,7 +82,28 @@ def get_experiment(experiment_id: str) -> ModuleType:
 
 
 def run_experiment(
-    experiment_id: str, seed: int = 0, scale: float = 1.0
+    experiment_id: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    *,
+    workers: int = 1,
+    runner: "TrialRunner | None" = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).run(seed=seed, scale=scale)
+    """Run one experiment by id.
+
+    ``workers > 1`` fans the experiment's Monte-Carlo sweeps out over a
+    process pool (``runner`` passes an existing
+    :class:`~repro.parallel.runner.TrialRunner` instead; the caller then
+    owns its lifetime).  Results are bitwise identical either way — the
+    per-trial seeding contract makes the backend invisible to the data.
+    """
+    from repro.parallel import make_runner, use_runner
+
+    module = get_experiment(experiment_id)
+    active = runner if runner is not None else make_runner(workers)
+    try:
+        with use_runner(active):
+            return module.run(seed=seed, scale=scale)
+    finally:
+        if runner is None:
+            active.close()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis import estimate_success, fit_log, format_table
 from repro.channels import CorrelatedNoiseChannel
 from repro.experiments.base import ExperimentResult, validate_scale
+from repro.parallel import ChannelSpec, SimulationExecutor, SimulatorSpec
 from repro.simulation import ChunkCommitSimulator
 from repro.tasks import InputSetTask
 
@@ -32,13 +33,13 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     successes = []
     for n in ns:
         task = InputSetTask(n)
-        simulator = ChunkCommitSimulator()
-
-        def executor(inputs, trial_seed, _task=task, _sim=simulator):
-            channel = CorrelatedNoiseChannel(EPSILON, rng=trial_seed)
-            return _sim.simulate(
-                _task.noiseless_protocol(), inputs, channel
-            )
+        # Picklable executor: the sweep can fan trials out to a process
+        # pool (``--workers``) with bitwise-identical results.
+        executor = SimulationExecutor(
+            task=task,
+            channel=ChannelSpec.of(CorrelatedNoiseChannel, EPSILON),
+            simulator=SimulatorSpec.of(ChunkCommitSimulator),
+        )
 
         point = estimate_success(
             task,
@@ -88,13 +89,11 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             if votes is not None
             else SimulationParameters()
         )
-        simulator = ChunkCommitSimulator(params)
-
-        def executor(inputs, trial_seed, _task=task, _sim=simulator):
-            channel = CorrelatedNoiseChannel(0.25, rng=trial_seed)
-            return _sim.simulate(
-                _task.noiseless_protocol(), inputs, channel
-            )
+        executor = SimulationExecutor(
+            task=task,
+            channel=ChannelSpec.of(CorrelatedNoiseChannel, 0.25),
+            simulator=SimulatorSpec.of(ChunkCommitSimulator, params),
+        )
 
         point = estimate_success(
             task,

@@ -1,0 +1,97 @@
+"""Parallel Monte-Carlo trial running.
+
+This package makes every sweep in :mod:`repro.analysis.sweep` pluggable
+over a :class:`TrialRunner` backend:
+
+* :class:`SerialRunner` — the historical in-process loop;
+* :class:`ProcessPoolRunner` — chunked dispatch over a reusable process
+  pool, with graceful serial fallback.
+
+Both backends produce **bitwise identical** results for the same master
+seed (see :mod:`repro.parallel.runner` for the determinism contract), so
+switching is purely a wall-clock decision: ``--workers N`` on the CLI,
+``REPRO_WORKERS=N`` for the benchmark harness, or :func:`use_runner` /
+:func:`set_default_runner` from code.
+
+Closure executors cannot cross process boundaries; the picklable specs in
+:mod:`repro.parallel.executors` (:class:`ProtocolExecutor`,
+:class:`SimulationExecutor`) are the multiprocessing-friendly equivalents.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.parallel.executors import (
+    ChannelSpec,
+    ProtocolExecutor,
+    SimulationExecutor,
+    SimulatorSpec,
+)
+from repro.parallel.runner import (
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialBatch,
+    TrialRecord,
+    TrialRunner,
+    run_trial,
+)
+
+__all__ = [
+    "TrialRunner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "TrialRecord",
+    "TrialBatch",
+    "run_trial",
+    "ChannelSpec",
+    "SimulatorSpec",
+    "ProtocolExecutor",
+    "SimulationExecutor",
+    "make_runner",
+    "get_default_runner",
+    "set_default_runner",
+    "use_runner",
+]
+
+_default_runner: TrialRunner = SerialRunner()
+
+
+def make_runner(
+    workers: int | None = 1, chunk_size: int | None = None
+) -> TrialRunner:
+    """A runner for ``workers`` concurrent trials (serial when <= 1)."""
+    if workers is None or workers <= 1:
+        return SerialRunner()
+    return ProcessPoolRunner(workers=workers, chunk_size=chunk_size)
+
+
+def get_default_runner() -> TrialRunner:
+    """The runner sweeps use when no explicit ``runner=`` is passed."""
+    return _default_runner
+
+
+def set_default_runner(runner: TrialRunner | None) -> None:
+    """Install the process-wide default runner (``None`` resets to serial).
+
+    The caller keeps ownership: closing a previously installed pool is
+    the caller's job (see :func:`use_runner` for scoped installs).
+    """
+    global _default_runner
+    _default_runner = runner if runner is not None else SerialRunner()
+
+
+@contextmanager
+def use_runner(runner: TrialRunner | None) -> Iterator[TrialRunner]:
+    """Scoped :func:`set_default_runner`: restores the previous default.
+
+    Does not close ``runner`` on exit — reuse it across several scopes
+    and close it once.
+    """
+    previous = get_default_runner()
+    set_default_runner(runner)
+    try:
+        yield get_default_runner()
+    finally:
+        set_default_runner(previous)

@@ -1,0 +1,134 @@
+"""Picklable sweep executors.
+
+The sweep layer accepts any ``(inputs, trial_seed) -> ExecutionResult``
+callable, and most call sites historically used closures.  Closures cannot
+cross a process boundary, so a closure-driven sweep silently degrades the
+:class:`~repro.parallel.runner.ProcessPoolRunner` to its serial fallback.
+The dataclasses here are the picklable equivalents: they name the task,
+the channel recipe, and (optionally) the simulator recipe as plain data,
+and build everything fresh inside the worker from the per-trial seed —
+exactly the calls the closures made, so results are bitwise identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.channels.base import Channel
+from repro.core.engine import run_protocol
+from repro.core.result import ExecutionResult
+from repro.simulation.base import Simulator
+from repro.tasks.base import Task
+
+__all__ = [
+    "ChannelSpec",
+    "SimulatorSpec",
+    "ProtocolExecutor",
+    "SimulationExecutor",
+]
+
+
+def _freeze_kwargs(kwargs: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A channel recipe: ``factory(*args, **kwargs, rng=trial_seed)``.
+
+    ``factory`` is a channel class or classmethod (picklable by
+    reference); the per-trial seed is injected under ``seed_kwarg``
+    (``None`` for seedless channels such as ``NoiselessChannel``).
+
+    >>> from repro.channels import CorrelatedNoiseChannel
+    >>> spec = ChannelSpec.of(CorrelatedNoiseChannel, 0.1)
+    >>> spec.make(7).epsilon
+    0.1
+    """
+
+    factory: Callable[..., Channel]
+    args: tuple[Any, ...] = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    seed_kwarg: str | None = "rng"
+
+    @classmethod
+    def of(
+        cls,
+        factory: Callable[..., Channel],
+        *args: Any,
+        seed_kwarg: str | None = "rng",
+        **kwargs: Any,
+    ) -> "ChannelSpec":
+        """Convenience constructor mirroring the factory's call shape."""
+        return cls(factory, args, _freeze_kwargs(kwargs), seed_kwarg)
+
+    def make(self, trial_seed: int) -> Channel:
+        """Build the channel for one trial."""
+        kwargs = dict(self.kwargs)
+        if self.seed_kwarg is not None:
+            kwargs[self.seed_kwarg] = trial_seed
+        return self.factory(*self.args, **kwargs)
+
+
+@dataclass(frozen=True)
+class SimulatorSpec:
+    """A simulator recipe: ``factory(*args, **kwargs)`` per trial.
+
+    Simulators are stateless across ``simulate`` calls (all randomness
+    comes from the channel and ``shared_seed``), so constructing one per
+    trial is equivalent to sharing an instance — and safe under
+    multiprocessing.
+    """
+
+    factory: Callable[..., Simulator]
+    args: tuple[Any, ...] = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(
+        cls, factory: Callable[..., Simulator], *args: Any, **kwargs: Any
+    ) -> "SimulatorSpec":
+        """Convenience constructor mirroring the factory's call shape."""
+        return cls(factory, args, _freeze_kwargs(kwargs))
+
+    def make(self) -> Simulator:
+        """Build the simulator for one trial."""
+        return self.factory(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class ProtocolExecutor:
+    """Run the task's noiseless protocol raw over a per-trial channel."""
+
+    task: Task
+    channel: ChannelSpec
+    record_sent: bool = True
+
+    def __call__(
+        self, inputs: Sequence[Any], trial_seed: int
+    ) -> ExecutionResult:
+        return run_protocol(
+            self.task.noiseless_protocol(),
+            inputs,
+            self.channel.make(trial_seed),
+            record_sent=self.record_sent,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationExecutor:
+    """Run the task's protocol through a simulation scheme per trial."""
+
+    task: Task
+    channel: ChannelSpec
+    simulator: SimulatorSpec
+
+    def __call__(
+        self, inputs: Sequence[Any], trial_seed: int
+    ) -> ExecutionResult:
+        return self.simulator.make().simulate(
+            self.task.noiseless_protocol(),
+            inputs,
+            self.channel.make(trial_seed),
+        )

@@ -1,0 +1,421 @@
+"""Pluggable Monte-Carlo trial runners.
+
+Every sweep in this package reduces to the same embarrassingly parallel
+unit: *run one independently seeded trial and record what happened*.
+:func:`run_trial` is that unit, and a :class:`TrialRunner` decides how a
+batch of them executes — in-process (:class:`SerialRunner`) or across a
+reusable process pool (:class:`ProcessPoolRunner`).
+
+**Determinism contract.**  A trial's behaviour depends only on
+``(master seed, trial index)``: inputs come from
+``spawn(seed, f"inputs[{index}]")`` and the executor's channel/protocol
+randomness from ``derive_seed(seed, f"trial[{index}]")`` — never from the
+dispatch order, the worker a trial lands on, or the chunking.  Runners
+return records sorted by trial index, and all aggregation happens on the
+returned records in index order, so every backend produces **bitwise
+identical** sweep results for the same seed.  Wall-clock measurements
+live in :class:`TrialBatch.timing` only, never in the records.
+
+The process-pool backend degrades gracefully: with ``workers=1``, with an
+unpicklable task/executor (e.g. a closure), or when the pool cannot start
+(restricted environments), it runs the batch serially — same records,
+``timing["fallback"]`` flags the downgrade.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.channels.stats import ChannelStats
+from repro.core.result import ExecutionResult
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, spawn
+from repro.tasks.base import Task
+
+__all__ = [
+    "TrialRecord",
+    "TrialBatch",
+    "run_trial",
+    "TrialRunner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+]
+
+Executor = Callable[[Sequence[Any], int], ExecutionResult]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Everything a sweep aggregates about one trial.
+
+    Records are plain picklable data so workers can ship them back
+    cheaply; they deliberately exclude transcripts and outputs (which can
+    be arbitrarily large and are not aggregated by any sweep).
+
+    Attributes:
+        index: Trial index within the batch (the seed-derivation key).
+        success: ``task.is_correct(inputs, outputs)`` for this trial.
+        rounds: Channel rounds the execution reported.
+        chunk_attempts: ``report.chunk_attempts`` when the executor was a
+            simulator, else ``None``.
+        completed: ``report.completed`` when present, else ``None``.
+        channel_rounds / beeps_sent / or_ones / flips_up / flips_down:
+            The execution's :class:`ChannelStats` delta, flattened.
+        total_energy: Total beeps across parties.
+    """
+
+    index: int
+    success: bool
+    rounds: float
+    chunk_attempts: float | None
+    completed: bool | None
+    channel_rounds: int
+    beeps_sent: int
+    or_ones: int
+    flips_up: int
+    flips_down: int
+    total_energy: int
+
+    @property
+    def flips(self) -> int:
+        """Total noise events observed during the trial."""
+        return self.flips_up + self.flips_down
+
+    def channel_stats(self) -> ChannelStats:
+        """The trial's channel counters as a :class:`ChannelStats`."""
+        return ChannelStats(
+            rounds=self.channel_rounds,
+            beeps_sent=self.beeps_sent,
+            or_ones=self.or_ones,
+            flips_up=self.flips_up,
+            flips_down=self.flips_down,
+        )
+
+
+@dataclass
+class TrialBatch:
+    """A completed batch: records in trial-index order plus timing.
+
+    ``timing`` is wall-clock bookkeeping (trials/sec, worker utilization,
+    fallback flags).  It is *never* folded into deterministic outputs —
+    see the module docstring's determinism contract.
+    """
+
+    records: list[TrialRecord]
+    timing: dict[str, float]
+
+    def aggregate_channel_stats(self) -> ChannelStats:
+        """Sum of the per-trial channel counters (drift tripwire)."""
+        total = ChannelStats()
+        for record in self.records:
+            total.rounds += record.channel_rounds
+            total.beeps_sent += record.beeps_sent
+            total.or_ones += record.or_ones
+            total.flips_up += record.flips_up
+            total.flips_down += record.flips_down
+        return total
+
+
+def run_trial(
+    task: Task, executor: Executor, seed: int, index: int
+) -> TrialRecord:
+    """Run trial ``index`` of a batch — the determinism contract's unit.
+
+    Inputs are sampled from ``spawn(seed, f"inputs[{index}]")`` and the
+    executor receives ``derive_seed(seed, f"trial[{index}]")``, so the
+    record depends only on ``(seed, index)`` and both labels match what
+    the historical serial loop in :mod:`repro.analysis.sweep` used —
+    existing benchmark results stay valid.
+    """
+    inputs = task.sample_inputs(spawn(seed, f"inputs[{index}]"))
+    trial_seed = derive_seed(seed, f"trial[{index}]")
+    result = executor(inputs, trial_seed)
+    report = result.metadata.get("report")
+    stats = result.channel_stats
+    return TrialRecord(
+        index=index,
+        success=bool(task.is_correct(inputs, result.outputs)),
+        rounds=float(result.rounds),
+        chunk_attempts=(
+            float(report.chunk_attempts) if report is not None else None
+        ),
+        completed=(
+            bool(report.completed) if report is not None else None
+        ),
+        channel_rounds=stats.rounds,
+        beeps_sent=stats.beeps_sent,
+        or_ones=stats.or_ones,
+        flips_up=stats.flips_up,
+        flips_down=stats.flips_down,
+        total_energy=result.total_energy,
+    )
+
+
+def _validate_trials(trials: int) -> None:
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+
+
+def _run_chunk(
+    task: Task, executor: Executor, seed: int, indices: list[int]
+) -> tuple[list[TrialRecord], float]:
+    """Worker entry point: run a contiguous block of trials.
+
+    Returns the records plus the worker's busy time for the utilization
+    metric.  Module-level so the pool can pickle it by reference.
+    """
+    start = time.perf_counter()
+    records = [run_trial(task, executor, seed, index) for index in indices]
+    return records, time.perf_counter() - start
+
+
+def _serial_records(
+    task: Task, executor: Executor, trials: int, seed: int
+) -> tuple[list[TrialRecord], float]:
+    start = time.perf_counter()
+    records = [
+        run_trial(task, executor, seed, index) for index in range(trials)
+    ]
+    return records, time.perf_counter() - start
+
+
+def _timing(
+    *,
+    elapsed: float,
+    trials: int,
+    workers: int,
+    chunks: int,
+    busy: float,
+    parallel: bool,
+    fallback: bool,
+) -> dict[str, float]:
+    return {
+        "elapsed_s": elapsed,
+        "trials_per_s": trials / elapsed if elapsed > 0 else float("inf"),
+        "workers": float(workers),
+        "chunks": float(chunks),
+        "busy_s": busy,
+        "utilization": (
+            busy / (elapsed * workers) if elapsed > 0 and workers else 1.0
+        ),
+        "parallel": 1.0 if parallel else 0.0,
+        "fallback": 1.0 if fallback else 0.0,
+    }
+
+
+class TrialRunner(ABC):
+    """Strategy interface: how a batch of independent trials executes."""
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Maximum concurrent trials this runner aims for."""
+
+    @abstractmethod
+    def run_trials(
+        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+    ) -> TrialBatch:
+        """Run ``trials`` independent trials; records in index order."""
+
+    def close(self) -> None:
+        """Release held resources (pools).  Idempotent."""
+
+    def __enter__(self) -> "TrialRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+
+class SerialRunner(TrialRunner):
+    """The historical in-process loop — the reference backend."""
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def run_trials(
+        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+    ) -> TrialBatch:
+        _validate_trials(trials)
+        records, elapsed = _serial_records(task, executor, trials, seed)
+        return TrialBatch(
+            records=records,
+            timing=_timing(
+                elapsed=elapsed,
+                trials=trials,
+                workers=1,
+                chunks=1,
+                busy=elapsed,
+                parallel=False,
+                fallback=False,
+            ),
+        )
+
+
+class ProcessPoolRunner(TrialRunner):
+    """Chunked dispatch over a reusable :class:`ProcessPoolExecutor`.
+
+    The pool is created lazily on first use and reused across
+    ``run_trials`` calls (and hence across sweep grid points), so worker
+    startup is amortised over a whole curve.  Close it explicitly (or use
+    the runner as a context manager) when done.
+
+    Args:
+        workers: Pool size; ``None`` means ``os.cpu_count()``.
+        chunk_size: Trials per dispatched work item; ``None`` picks
+            ``ceil(trials / (4 * workers))`` so each worker sees ~4 chunks
+            (decent load balancing without per-trial pickling overhead).
+        mp_context: Optional :mod:`multiprocessing` context (e.g. to force
+            ``"spawn"``); ``None`` uses the platform default.
+
+    Falls back to the serial path — with identical results — when
+    ``workers == 1``, when the task/executor cannot be pickled, or when
+    the pool cannot start or breaks mid-batch.  ``last_fallback_reason``
+    records why.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        mp_context: Any = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self._workers = workers
+        self.chunk_size = chunk_size
+        self._mp_context = mp_context
+        self._pool = None
+        self._pool_failed = False
+        self.last_fallback_reason: str | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._pool_failed:
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                context = (
+                    self._mp_context
+                    if self._mp_context is not None
+                    else multiprocessing.get_context()
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers, mp_context=context
+                )
+            except (ImportError, OSError, ValueError):
+                # No multiprocessing support here (restricted sandbox,
+                # missing /dev/shm, ...): permanently degrade to serial.
+                self._pool_failed = True
+        return self._pool
+
+    def _chunk_indices(self, trials: int) -> list[list[int]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(trials / (4 * self._workers)))
+        return [
+            list(range(low, min(low + size, trials)))
+            for low in range(0, trials, size)
+        ]
+
+    def _serial_fallback(
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        seed: int,
+        reason: str | None,
+    ) -> TrialBatch:
+        self.last_fallback_reason = reason
+        records, elapsed = _serial_records(task, executor, trials, seed)
+        return TrialBatch(
+            records=records,
+            timing=_timing(
+                elapsed=elapsed,
+                trials=trials,
+                workers=1,
+                chunks=1,
+                busy=elapsed,
+                parallel=False,
+                # workers == 1 is a designed serial path, not a downgrade.
+                fallback=reason is not None,
+            ),
+        )
+
+    def run_trials(
+        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+    ) -> TrialBatch:
+        _validate_trials(trials)
+        if self._workers == 1:
+            return self._serial_fallback(task, executor, trials, seed, None)
+        try:
+            pickle.dumps((task, executor))
+        except Exception:
+            return self._serial_fallback(
+                task, executor, trials, seed, "unpicklable task/executor"
+            )
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._serial_fallback(
+                task, executor, trials, seed, "process pool failed to start"
+            )
+        chunks = self._chunk_indices(trials)
+        start = time.perf_counter()
+        try:
+            futures = [
+                pool.submit(_run_chunk, task, executor, seed, chunk)
+                for chunk in chunks
+            ]
+            outcomes = [future.result() for future in futures]
+        except Exception:
+            # A worker died (OOM, signal) or the pool broke: recover the
+            # batch serially so the sweep still completes correctly.
+            self.close()
+            self._pool_failed = True
+            return self._serial_fallback(
+                task, executor, trials, seed, "process pool broke mid-batch"
+            )
+        elapsed = time.perf_counter() - start
+        self.last_fallback_reason = None
+        records = [
+            record for chunk_records, _ in outcomes for record in chunk_records
+        ]
+        records.sort(key=lambda record: record.index)
+        busy = sum(busy_time for _, busy_time in outcomes)
+        return TrialBatch(
+            records=records,
+            timing=_timing(
+                elapsed=elapsed,
+                trials=trials,
+                workers=self._workers,
+                chunks=len(chunks),
+                busy=busy,
+                parallel=True,
+                fallback=False,
+            ),
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

@@ -2,9 +2,22 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked tests unless RUN_SLOW=1 is set."""
+    if os.environ.get("RUN_SLOW") == "1":
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow stress test; set RUN_SLOW=1 to run"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 from repro.channels import (
     CorrelatedNoiseChannel,

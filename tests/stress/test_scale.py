@@ -15,7 +15,7 @@ from repro.simulation import (
     HierarchicalSimulator,
     RewindSimulator,
 )
-from repro.tasks import InputSetTask, MaxIdTask
+from repro.tasks import InputSetTask, MaxIdTask, OrTask
 
 
 class TestLargeInstances:
@@ -81,6 +81,43 @@ class TestLargeInstances:
         assert result.rounds == 128 * 40
         rate = result.rounds / elapsed
         assert rate > 5_000  # rounds/sec at 64 parties (CI-safe floor)
+
+
+@pytest.mark.slow
+class TestParallelSweepAtScale:
+    """The runner equivalence contract at benchmark-scale trial counts.
+
+    Marked ``slow`` (skipped unless RUN_SLOW=1): 10k trials each on two
+    backends is deliberately heavier than the CI fast path.
+    """
+
+    def test_10k_trial_parallel_sweep_matches_serial_exactly(self):
+        from repro.analysis import estimate_success
+        from repro.parallel import (
+            ChannelSpec,
+            ProcessPoolRunner,
+            ProtocolExecutor,
+            SerialRunner,
+        )
+
+        task = OrTask(2)
+        executor = ProtocolExecutor(
+            task=task,
+            channel=ChannelSpec.of(CorrelatedNoiseChannel, 0.2),
+        )
+        trials = 10_000
+        serial = estimate_success(
+            task, executor, trials, seed=7, runner=SerialRunner()
+        )
+        with ProcessPoolRunner(workers=4, chunk_size=512) as runner:
+            parallel = estimate_success(
+                task, executor, trials, seed=7, runner=runner
+            )
+            assert runner.last_fallback_reason is None
+        # Bitwise equality of the whole point, Wilson interval included.
+        assert parallel.to_dict() == serial.to_dict()
+        assert parallel.success.interval == serial.success.interval
+        assert parallel.success.trials == trials
 
 
 class TestSerializationAtScale:

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    ScriptedChannel,
+)
 from repro.core import (
     FunctionalProtocol,
     Party,
@@ -155,6 +159,140 @@ class TestRunProtocolErrors:
     def test_wrong_input_count(self):
         with pytest.raises(ProtocolError):
             run_protocol(_EchoProtocol(3), [0, 1], NoiselessChannel())
+
+
+class _FixedPatternProtocol(Protocol):
+    """Each party beeps a scripted bit pattern and returns its hearings."""
+
+    class _P(Party):
+        def __init__(self, pattern):
+            self.pattern = pattern
+
+        def run(self):
+            heard = []
+            for bit in self.pattern:
+                heard.append((yield bit))
+            return tuple(heard)
+
+    def __init__(self, patterns):
+        super().__init__(len(patterns))
+        self.patterns = patterns
+
+    def length(self):
+        return len(self.patterns[0])
+
+    def create_parties(self, inputs, shared_seed=None):
+        return [self._P(pattern) for pattern in self.patterns]
+
+
+class TestEngineEdgeCases:
+    """Transcript shape, round-limit boundaries, and beep accounting."""
+
+    def test_record_sent_off_keeps_or_values_and_length(self):
+        patterns = [(1, 0, 1), (0, 0, 1)]
+        result = run_protocol(
+            _FixedPatternProtocol(patterns),
+            [None, None],
+            NoiselessChannel(),
+            record_sent=False,
+        )
+        assert result.rounds == 3
+        assert len(result.transcript) == 3
+        assert all(record.sent is None for record in result.transcript)
+        assert list(result.transcript.or_values()) == [1, 0, 1]
+        assert [record.received for record in result.transcript] == [
+            (1, 1),
+            (0, 0),
+            (1, 1),
+        ]
+
+    def test_record_sent_off_still_counts_beeps(self):
+        patterns = [(1, 0, 1), (0, 0, 1)]
+        result = run_protocol(
+            _FixedPatternProtocol(patterns),
+            [None, None],
+            NoiselessChannel(),
+            record_sent=False,
+        )
+        assert result.beeps_per_party == (2, 1)
+        assert result.total_energy == 3
+        assert result.channel_stats.beeps_sent == 3
+
+    def test_zero_round_parties_leave_channel_untouched(self):
+        channel = NoiselessChannel()
+        result = run_protocol(_SilentProtocol(3), [0, 0, 0], channel)
+        assert result.rounds == 0
+        assert len(result.transcript) == 0
+        assert result.outputs == ["done"] * 3
+        assert result.beeps_per_party == (0, 0, 0)
+        assert channel.stats.rounds == 0
+        assert result.channel_stats.rounds == 0
+
+    def test_max_rounds_exact_boundary(self):
+        patterns = [(0, 1, 0)]
+        # A 3-round protocol completes with max_rounds=3 ...
+        result = run_protocol(
+            _FixedPatternProtocol(patterns),
+            [None],
+            NoiselessChannel(),
+            max_rounds=3,
+        )
+        assert result.rounds == 3
+        # ... and trips the guard with max_rounds=2.
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                _FixedPatternProtocol(patterns),
+                [None],
+                NoiselessChannel(),
+                max_rounds=2,
+            )
+
+    def test_desync_error_names_laggards(self):
+        with pytest.raises(ProtocolDesyncError) as excinfo:
+            run_protocol(
+                _VariableLengthProtocol(3),
+                [None, None, None],
+                NoiselessChannel(),
+            )
+        # Party 0 stops after round 1; parties 1 and 2 are the laggards.
+        assert "[1, 2]" in str(excinfo.value)
+
+    def test_desync_wins_over_max_rounds(self):
+        # The desync is detected at the round it happens even when the
+        # round budget would have expired at the same point.
+        with pytest.raises(ProtocolDesyncError):
+            run_protocol(
+                _VariableLengthProtocol(2),
+                [None, None],
+                NoiselessChannel(),
+                max_rounds=1,
+            )
+
+    def test_beeps_per_party_against_scripted_channel(self):
+        # Flips at rounds 0 and 2 alter receptions, never beep counts.
+        patterns = [(1, 0, 0, 1), (0, 0, 1, 1), (0, 0, 0, 0)]
+        channel = ScriptedChannel(flip_rounds={0, 2})
+        result = run_protocol(
+            _FixedPatternProtocol(patterns), [None] * 3, channel
+        )
+        assert result.beeps_per_party == (2, 2, 0)
+        assert result.channel_stats.beeps_sent == 4
+        assert result.channel_stats.or_ones == 3
+        # Round 0: OR=1 flipped down; round 2: OR=1 flipped down too.
+        assert result.channel_stats.flips_down == 2
+        assert result.channel_stats.flips_up == 0
+        assert list(result.transcript.or_values()) == [1, 0, 1, 1]
+        assert result.outputs[0] == (0, 0, 0, 1)
+
+    def test_scripted_up_flip_received_by_all(self):
+        patterns = [(0, 0), (0, 0)]
+        channel = ScriptedChannel(flip_rounds={1})
+        result = run_protocol(
+            _FixedPatternProtocol(patterns), [None, None], channel
+        )
+        assert result.channel_stats.flips_up == 1
+        assert result.outputs == [(0, 1), (0, 1)]
+        assert result.total_energy == 0
 
 
 class TestFunctionalProtocol:
