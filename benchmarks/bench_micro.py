@@ -5,13 +5,24 @@ microbenchmarks: pytest-benchmark repeats them many times and reports
 statistics.  They guard the wall-clock budget of the experiment suite —
 the engine executes tens of thousands of rounds per simulation, so a
 regression here multiplies through every experiment.
+
+Running the module directly (``python benchmarks/bench_micro.py --quick``)
+skips pytest and times the columnar fast-path engine against the seed
+reference loop (:mod:`repro.core._legacy_engine`) over a correlated
+channel at n ∈ {8, 32, 128}, both ``record_sent`` modes, writing
+machine-readable rounds/s and speedup ratios to
+``benchmarks/results/BENCH_engine.json``.  CI's benchmark-smoke job runs
+exactly this and fails on engine import/behaviour regressions.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import random
 import time
+from pathlib import Path
 
 from repro.analysis import estimate_success
 from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
@@ -133,3 +144,124 @@ def test_parallel_sweep_speedup():
     )
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Standalone engine-throughput benchmark (CI benchmark-smoke job)
+# ----------------------------------------------------------------------
+
+ENGINE_BENCH_PARTIES = (8, 32, 128)
+
+
+def _engine_bench_protocol(n: int, length: int):
+    """A broadcast protocol whose bits depend on the received prefix, so
+    the engine cannot shortcut any per-round work."""
+    from repro.core import FunctionalProtocol
+
+    return FunctionalProtocol(
+        n_parties=n,
+        length=length,
+        broadcast=lambda index, bit, prefix: (
+            bit if not prefix else bit ^ prefix[-1]
+        ),
+        output=lambda index, bit, received: sum(received),
+    )
+
+
+def _time_engine(
+    engine, n: int, record_sent: bool, trials: int, length: int, repeats: int
+):
+    """Rounds/second of ``engine`` over a fresh correlated channel per trial
+    (the Monte-Carlo access pattern).  Takes the best of ``repeats``
+    measurements after one warmup trial — the standard noise shield for
+    wall-clock microbenchmarks on shared machines."""
+    protocol = _engine_bench_protocol(n, length)
+    inputs = [i % 2 for i in range(n)]
+    engine(
+        protocol,
+        inputs,
+        CorrelatedNoiseChannel(0.1, rng=0),
+        record_sent=record_sent,
+    )
+    best = 0.0
+    for _ in range(repeats):
+        total_rounds = 0
+        start = time.perf_counter()
+        for trial in range(trials):
+            channel = CorrelatedNoiseChannel(0.1, rng=trial)
+            result = engine(
+                protocol, inputs, channel, record_sent=record_sent
+            )
+            total_rounds += result.rounds
+        elapsed = time.perf_counter() - start
+        best = max(best, total_rounds / elapsed)
+    return best
+
+
+def run_engine_benchmark(quick: bool = False) -> dict:
+    """Fast-path vs reference-loop throughput; returns the results payload."""
+    from repro.core import run_protocol as fast_engine
+    from repro.core._legacy_engine import legacy_run_protocol as legacy_engine
+
+    trials = 10 if quick else 30
+    length = 1000 if quick else 2000
+    repeats = 3 if quick else 5
+    payload: dict = {
+        "benchmark": "engine_throughput",
+        "channel": "CorrelatedNoiseChannel(0.1)",
+        "rounds_per_trial": length,
+        "trials": trials,
+        "repeats": repeats,
+        "results": [],
+    }
+    for n in ENGINE_BENCH_PARTIES:
+        for record_sent in (True, False):
+            legacy_rate = _time_engine(
+                legacy_engine, n, record_sent, trials, length, repeats
+            )
+            fast_rate = _time_engine(
+                fast_engine, n, record_sent, trials, length, repeats
+            )
+            entry = {
+                "n_parties": n,
+                "record_sent": record_sent,
+                "legacy_rounds_per_sec": round(legacy_rate),
+                "fast_rounds_per_sec": round(fast_rate),
+                "speedup": round(fast_rate / legacy_rate, 2),
+            }
+            payload["results"].append(entry)
+            print(
+                f"n={n:<4} record_sent={str(record_sent):<5} "
+                f"legacy {legacy_rate:>10,.0f} r/s   "
+                f"fast {fast_rate:>10,.0f} r/s   "
+                f"x{fast_rate / legacy_rate:.2f}"
+            )
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Engine throughput benchmark (fast path vs seed loop)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer trials / shorter protocols (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).parent / "results" / "BENCH_engine.json"
+        ),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_engine_benchmark(quick=args.quick)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -93,7 +93,7 @@ class CorrectingAdversaryChannel(Channel):
                 )
 
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
-        noise = 1 if self._rng.random() < self.epsilon else 0
+        noise = 1 if self._next_noise_float() < self.epsilon else 0
         noisy = or_value ^ noise
         corrected = self.policy(or_value, noisy)
         return (corrected,) * n_parties

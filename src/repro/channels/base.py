@@ -67,6 +67,17 @@ class Channel(ABC):
     the tuple of received bits.  ``transmit`` validates inputs, computes the
     OR, delegates to ``_deliver`` and records statistics.
 
+    Correlated channels additionally expose the block interface used by the
+    engine's fast path: :meth:`transmit_shared` returns the single shared
+    received bit (every party's view) without ever building the
+    ``(bit,) * n`` received tuple or a :class:`RoundOutcome`.  Channels
+    whose noise is driven by uniform draws consume them through
+    :meth:`_next_noise_float`, which pre-draws ``random()`` values in
+    fixed-size blocks.  The *call sequence* into the underlying
+    :class:`random.Random` is the per-round sequence of the seed engine
+    (one ``random()`` per decision, in the same order), so delivered bits
+    are bitwise identical to per-round drawing for any seed.
+
     Attributes:
         correlated: True when all parties are guaranteed identical views.
             Protocol code that relies on a shared transcript asserts this.
@@ -75,13 +86,79 @@ class Channel(ABC):
 
     correlated: bool = True
 
+    #: Uniform draws pre-drawn per block; amortizes RNG attribute lookups
+    #: over the Monte-Carlo hot loop without changing the draw sequence.
+    _NOISE_BLOCK = 1024
+
     def __init__(self, rng: random.Random | int | None = None) -> None:
         self._rng = ensure_rng(rng)
+        self._noise_floats: list[float] = []
+        self._noise_pos = 0
         self.stats = ChannelStats()
 
     @abstractmethod
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
         """Map the true OR to the per-party received bits."""
+
+    def _next_noise_float(self) -> float:
+        """Next uniform draw from the block-buffered noise stream."""
+        pos = self._noise_pos
+        floats = self._noise_floats
+        if pos >= len(floats):
+            rand = self._rng.random
+            floats = [rand() for _ in range(self._NOISE_BLOCK)]
+            self._noise_floats = floats
+            pos = 0
+        self._noise_pos = pos + 1
+        return floats[pos]
+
+    def _deliver_shared(self, or_value: int) -> int:
+        """The shared received bit for one round (correlated channels).
+
+        Default: delegate to :meth:`_deliver` for a single party, which is
+        draw-order identical for every correlated channel here (their
+        randomness never depends on the party count).  Hot channels
+        override this to skip the 1-tuple entirely.
+        """
+        return self._deliver(or_value, 1)[0]
+
+    def transmit_shared(self, or_value: int, beeps: int) -> int:
+        """Fast-path transmit for correlated channels — the block interface.
+
+        The engine computes the round's true OR and beep count in its
+        per-party collection loop, so this entry point skips bit
+        revalidation and the OR reduction, delivers one shared bit via
+        :meth:`_deliver_shared`, and records the exact statistics
+        :meth:`transmit` would have recorded.
+
+        Args:
+            or_value: True OR of the round's (already validated) bits.
+            beeps: Number of 1-bits beeped this round.
+
+        Returns:
+            The single received bit every party observes.
+
+        Raises:
+            ChannelError: When called on a non-correlated channel (whose
+                per-party views cannot be summarized by one bit).
+        """
+        if not self.correlated:
+            raise ChannelError(
+                "transmit_shared() requires a correlated channel; use "
+                "transmit() for per-party views"
+            )
+        received = self._deliver_shared(or_value)
+        stats = self.stats
+        stats.rounds += 1
+        stats.beeps_sent += beeps
+        stats.or_ones += or_value
+        if received != or_value:
+            # One shared noise event per round, counted once.
+            if or_value:
+                stats.flips_down += 1
+            else:
+                stats.flips_up += 1
+        return received
 
     def transmit(self, bits: Sequence[int]) -> RoundOutcome:
         """Transmit one round: combine ``bits`` with OR, apply noise.

@@ -144,16 +144,18 @@ class BurstNoiseChannel(Channel):
 
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
         # Advance the interference state, then flip at the state's rate.
+        # Both draws come from the block-buffered stream, in the seed
+        # engine's order: state transition first, then the noise coin.
         if self._in_burst:
-            if self._rng.random() < self.p_exit:
+            if self._next_noise_float() < self.p_exit:
                 self._in_burst = False
         else:
-            if self._rng.random() < self.p_enter:
+            if self._next_noise_float() < self.p_enter:
                 self._in_burst = True
         if self._in_burst:
             self.burst_rounds += 1
         epsilon = self.epsilon_bad if self._in_burst else self.epsilon_good
-        noise = 1 if self._rng.random() < epsilon else 0
+        noise = 1 if self._next_noise_float() < epsilon else 0
         return (or_value ^ noise,) * n_parties
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -40,8 +40,23 @@ class CorrelatedNoiseChannel(Channel):
         self.epsilon = epsilon
 
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
-        noise = 1 if self._rng.random() < self.epsilon else 0
+        noise = 1 if self._next_noise_float() < self.epsilon else 0
         return (or_value ^ noise,) * n_parties
+
+    def _deliver_shared(self, or_value: int) -> int:
+        # The engine's hot path: block-buffered draw, inlined to avoid a
+        # second function call per round.  Same draw sequence as _deliver.
+        pos = self._noise_pos
+        floats = self._noise_floats
+        if pos >= len(floats):
+            rand = self._rng.random
+            floats = [rand() for _ in range(self._NOISE_BLOCK)]
+            self._noise_floats = floats
+            pos = 0
+        self._noise_pos = pos + 1
+        if floats[pos] < self.epsilon:
+            return or_value ^ 1
+        return or_value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CorrelatedNoiseChannel(epsilon={self.epsilon})"

@@ -39,8 +39,12 @@ class IndependentNoiseChannel(Channel):
         self.epsilon = epsilon
 
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
+        # One block-buffered draw per party, in party order — the seed
+        # engine's exact draw sequence.
+        next_float = self._next_noise_float
+        epsilon = self.epsilon
         return tuple(
-            or_value ^ (1 if self._rng.random() < self.epsilon else 0)
+            or_value ^ 1 if next_float() < epsilon else or_value
             for _ in range(n_parties)
         )
 

@@ -21,5 +21,8 @@ class NoiselessChannel(Channel):
     def _deliver(self, or_value: int, n_parties: int) -> BitWord:
         return (or_value,) * n_parties
 
+    def _deliver_shared(self, or_value: int) -> int:
+        return or_value
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NoiselessChannel()"

@@ -47,8 +47,15 @@ class OneSidedNoiseChannel(Channel):
         if or_value == 1:
             received = 1
         else:
-            received = 1 if self._rng.random() < self.epsilon else 0
+            received = 1 if self._next_noise_float() < self.epsilon else 0
         return (received,) * n_parties
+
+    def _deliver_shared(self, or_value: int) -> int:
+        # A beep always gets through; only silent rounds draw noise (the
+        # same data-dependent draw sequence as _deliver).
+        if or_value == 1:
+            return 1
+        return 1 if self._next_noise_float() < self.epsilon else 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"OneSidedNoiseChannel(epsilon={self.epsilon})"
@@ -78,8 +85,14 @@ class SuppressionNoiseChannel(Channel):
         if or_value == 0:
             received = 0
         else:
-            received = 0 if self._rng.random() < self.epsilon else 1
+            received = 0 if self._next_noise_float() < self.epsilon else 1
         return (received,) * n_parties
+
+    def _deliver_shared(self, or_value: int) -> int:
+        # Silence is never flipped; only beeping rounds draw noise.
+        if or_value == 0:
+            return 0
+        return 0 if self._next_noise_float() < self.epsilon else 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SuppressionNoiseChannel(epsilon={self.epsilon})"

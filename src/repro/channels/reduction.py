@@ -83,9 +83,18 @@ class SharedFlipReductionChannel(Channel):
             (or_value,) + (0,) * (n_parties - 1) if n_parties > 1 else (or_value,)
         )
         received = inner_outcome.common
-        if received == 1 and self._rng.random() < self.p_down:
+        if received == 1 and self._next_noise_float() < self.p_down:
             received = 0
         return (received,) * n_parties
+
+    def _deliver_shared(self, or_value: int) -> int:
+        # Drive the inner one-sided channel through its own fast path so
+        # neither layer builds a per-party tuple; inner stats accumulate
+        # exactly as a width-1 transmit would record them.
+        received = self.inner.transmit_shared(or_value, or_value)
+        if received == 1 and self._next_noise_float() < self.p_down:
+            received = 0
+        return received
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

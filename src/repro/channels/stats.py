@@ -76,3 +76,50 @@ class ChannelStats:
             flips_up=self.flips_up,
             flips_down=self.flips_down,
         )
+
+    @classmethod
+    def observed_from_transcript(cls, transcript) -> "ChannelStats":
+        """The counters a correlated channel recorded, re-derived from a
+        transcript's columns.
+
+        Uses the columnar noisy mask (``Transcript.noisy_count`` and
+        friends) rather than materializing per-round records, so it is an
+        O(T) byte scan.  ``flips`` equals ``noisy_count`` split by
+        direction against the true-OR column; ``beeps_sent`` comes from
+        the sent columns when they were recorded and is 0 otherwise
+        (matching a ``record_sent=False`` execution's information
+        content).  Serves as the drift tripwire between engine-reported
+        stats deltas and what the transcript itself shows.
+
+        Raises :class:`~repro.errors.TranscriptError` for transcripts with
+        divergent views (independent noise counts *per-party* flips, which
+        a shared mask cannot reconstruct).
+        """
+        from repro.errors import TranscriptError
+
+        if transcript._divergent_total:
+            raise TranscriptError(
+                "observed_from_transcript needs a shared view; independent "
+                "noise counts per-party flips"
+            )
+        or_column = transcript._or
+        noisy_column = transcript._noisy
+        flips = transcript.noisy_count
+        flips_down = sum(
+            1
+            for or_value, noisy in zip(or_column, noisy_column)
+            if noisy and or_value
+        )
+        beeps_sent = 0
+        if (
+            transcript._sent_flat is not None
+            and transcript._sent_recorded_total == len(or_column)
+        ):
+            beeps_sent = sum(transcript._sent_flat)
+        return cls(
+            rounds=len(or_column),
+            beeps_sent=beeps_sent,
+            or_ones=sum(or_column),
+            flips_up=flips - flips_down,
+            flips_down=flips_down,
+        )

@@ -1,0 +1,108 @@
+"""The pre-columnar reference engine, kept verbatim for equivalence tests.
+
+This is the seed repository's ``run_protocol`` loop: one
+:class:`~repro.core.transcript.RoundRecord` and two n-tuples allocated per
+round, every bit re-validated inside :meth:`Channel.transmit`.  The
+fast-path engine in :mod:`repro.core.engine` must stay *bitwise
+equivalent* to this loop — same outputs, same transcript contents, same
+beep counts, same channel-stats deltas, same exceptions — and the
+equivalence suite (``tests/unit/test_legacy_equivalence.py``) drives both
+over identical (protocol, channel, seed) grids to enforce exactly that.
+
+Not public API: benchmarks and tests only.  The only intentional
+difference from the seed is that rounds land in the columnar
+:class:`~repro.core.transcript.Transcript` through its record-level
+compatibility ``append`` — the storage is shared, the write path is the
+historical one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.core.protocol import Protocol
+from repro.core.result import ExecutionResult
+from repro.core.transcript import RoundRecord, Transcript
+from repro.errors import ProtocolDesyncError, ProtocolError
+from repro.util.bits import validate_bit
+
+__all__ = ["legacy_run_protocol"]
+
+_DEFAULT_MAX_ROUNDS = 10_000_000
+
+
+def legacy_run_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    record_sent: bool = True,
+    max_rounds: int = _DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """Execute ``protocol`` exactly as the seed engine did (reference loop)."""
+    parties = protocol.create_parties(inputs, shared_seed=shared_seed)
+    n_parties = len(parties)
+    programs = [party.run() for party in parties]
+
+    outputs: list[Any] = [None] * n_parties
+    transcript = Transcript(n_parties)
+    stats_before = channel.stats.snapshot()
+    beeps_per_party = [0] * n_parties
+
+    pending_bits: list[int | None] = [None] * n_parties
+    finished = [False] * n_parties
+    for index, program in enumerate(programs):
+        try:
+            pending_bits[index] = validate_bit(next(program))
+        except StopIteration as stop:
+            finished[index] = True
+            outputs[index] = stop.value
+
+    rounds = 0
+    while not all(finished):
+        if any(finished):
+            laggards = [i for i, done in enumerate(finished) if not done]
+            raise ProtocolDesyncError(
+                f"parties {laggards} still communicating after others "
+                f"finished at round {rounds}"
+            )
+        if rounds >= max_rounds:
+            raise ProtocolError(
+                f"protocol exceeded max_rounds={max_rounds}"
+            )
+
+        sent = tuple(pending_bits[index] for index in range(n_parties))
+        for index, bit in enumerate(sent):
+            beeps_per_party[index] += bit
+        outcome = channel.transmit(sent)
+        transcript.append(
+            RoundRecord(
+                sent=sent if record_sent else None,
+                or_value=outcome.or_value,
+                received=outcome.received,
+            )
+        )
+        rounds += 1
+
+        for index, program in enumerate(programs):
+            try:
+                pending_bits[index] = validate_bit(
+                    program.send(outcome.received[index])
+                )
+            except StopIteration as stop:
+                finished[index] = True
+                outputs[index] = stop.value
+
+    stats_after = channel.stats.snapshot()
+    from repro.core.engine import _stats_delta
+
+    delta = _stats_delta(stats_before, stats_after)
+    return ExecutionResult(
+        outputs=outputs,
+        transcript=transcript,
+        rounds=rounds,
+        channel_stats=delta,
+        beeps_per_party=tuple(beeps_per_party),
+    )

@@ -11,6 +11,26 @@ All parties must terminate in the same round — a party finishing early while
 another still wants to beep indicates a protocol bug and raises
 :class:`~repro.errors.ProtocolDesyncError`.  A ``max_rounds`` guard turns
 runaway protocols into a clean failure instead of an infinite loop.
+
+The loop is written for the Monte-Carlo hot path: with T(n) = Θ(n log n)
+simulation rounds per trial (Theorem 1.2), per-round allocation dominates
+wall-clock.  Correlated channels (``channel.correlated``, the paper's
+model) therefore take a fast path that
+
+* reuses one send buffer instead of building an n-tuple per round,
+* hands the channel the precomputed OR and beep count through
+  :meth:`~repro.channels.base.Channel.transmit_shared`, which returns the
+  single shared received bit — no per-round ``RoundOutcome`` or
+  ``(bit,) * n`` received tuple,
+* appends raw bytes to the columnar transcript
+  (:meth:`~repro.core.transcript.Transcript.append_raw`) instead of a
+  :class:`~repro.core.transcript.RoundRecord` per round, and
+* folds beep counting into the single per-party collection loop.
+
+Non-correlated channels (independent noise, networks) keep the word-level
+``transmit`` path.  Both paths are bitwise equivalent to the seed loop
+preserved in :mod:`repro.core._legacy_engine` — same RNG draw order, same
+results — which the equivalence suite enforces.
 """
 
 from __future__ import annotations
@@ -20,13 +40,20 @@ from typing import Any, Sequence
 from repro.channels.base import Channel
 from repro.core.protocol import Protocol
 from repro.core.result import ExecutionResult
-from repro.core.transcript import RoundRecord, Transcript
+from repro.core.transcript import Transcript
 from repro.errors import ProtocolDesyncError, ProtocolError
 from repro.util.bits import validate_bit
 
 __all__ = ["run_protocol"]
 
 _DEFAULT_MAX_ROUNDS = 10_000_000
+
+# CPython caches small ints, so a validated bit is one of these two exact
+# objects and the identity test below short-circuits the validation call.
+# On interpreters without the cache the test just falls through to
+# validate_bit — semantics are unchanged either way.
+_BIT_ZERO = 0
+_BIT_ONE = 1
 
 
 def run_protocol(
@@ -48,7 +75,8 @@ def run_protocol(
         shared_seed: Shared-randomness seed handed to every party
             (``None`` for deterministic protocols).
         record_sent: Keep the per-round sent bits in the transcript.  Turn
-            off for long benchmark runs to save memory.
+            off for long benchmark runs to save memory (the transcript
+            then stores three bytes per round, independent of n).
         max_rounds: Hard cap on the number of rounds.
 
     Returns:
@@ -70,20 +98,40 @@ def run_protocol(
     # record_sent, because it is O(n) total, not O(n·T)).
     beeps_per_party = [0] * n_parties
 
+    _validate = validate_bit
+
     # Prime every coroutine to its first yield; collect outputs of parties
-    # whose program has zero rounds.
-    pending_bits: list[int | None] = [None] * n_parties
+    # whose program has zero rounds.  Beep accounting happens here, at bit
+    # collection: a collected bit is sent in the next round or the
+    # execution aborts with an exception, so the counts match the seed
+    # engine's per-sent-round accounting on every returning execution.
+    pending_bits: list[int] = [0] * n_parties
     finished = [False] * n_parties
+    finished_count = 0
+    pending_beeps = 0  # ones among the pending bits == next round's energy
     for index, program in enumerate(programs):
         try:
-            pending_bits[index] = validate_bit(next(program))
+            bit = next(program)
         except StopIteration as stop:
             finished[index] = True
+            finished_count += 1
             outputs[index] = stop.value
+            continue
+        if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+            bit = _validate(bit)
+        pending_bits[index] = bit
+        beeps_per_party[index] += bit
+        pending_beeps += bit
 
+    fast_path = channel.correlated
+    append_raw = transcript.append_raw
+    transmit_shared = channel.transmit_shared
+    transmit = channel.transmit
+    # Bind each generator's send once; the loop below runs n times per round.
+    sends = [program.send for program in programs]
     rounds = 0
-    while not all(finished):
-        if any(finished):
+    while finished_count < n_parties:
+        if finished_count:
             laggards = [i for i, done in enumerate(finished) if not done]
             raise ProtocolDesyncError(
                 f"parties {laggards} still communicating after others "
@@ -94,27 +142,52 @@ def run_protocol(
                 f"protocol exceeded max_rounds={max_rounds}"
             )
 
-        sent = tuple(pending_bits[index] for index in range(n_parties))
-        for index, bit in enumerate(sent):
-            beeps_per_party[index] += bit
-        outcome = channel.transmit(sent)
-        transcript.append(
-            RoundRecord(
-                sent=sent if record_sent else None,
-                or_value=outcome.or_value,
-                received=outcome.received,
+        or_value = 1 if pending_beeps else 0
+        if fast_path:
+            # Correlated fast path: one shared received bit, no tuples.
+            received = transmit_shared(or_value, pending_beeps)
+            append_raw(
+                pending_bits if record_sent else None, or_value, received
             )
-        )
-        rounds += 1
-
-        for index, program in enumerate(programs):
-            try:
-                pending_bits[index] = validate_bit(
-                    program.send(outcome.received[index])
-                )
-            except StopIteration as stop:
-                finished[index] = True
-                outputs[index] = stop.value
+            rounds += 1
+            pending_beeps = 0
+            for index, send in enumerate(sends):
+                try:
+                    bit = send(received)
+                except StopIteration as stop:
+                    finished[index] = True
+                    finished_count += 1
+                    outputs[index] = stop.value
+                    continue
+                if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+                    bit = _validate(bit)
+                pending_bits[index] = bit
+                beeps_per_party[index] += bit
+                pending_beeps += bit
+        else:
+            # Word path: per-party views (independent noise, networks).
+            outcome = transmit(tuple(pending_bits))
+            received_word = outcome.received
+            append_raw(
+                pending_bits if record_sent else None,
+                outcome.or_value,
+                received_word,
+            )
+            rounds += 1
+            pending_beeps = 0
+            for index, send in enumerate(sends):
+                try:
+                    bit = send(received_word[index])
+                except StopIteration as stop:
+                    finished[index] = True
+                    finished_count += 1
+                    outputs[index] = stop.value
+                    continue
+                if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+                    bit = _validate(bit)
+                pending_bits[index] = bit
+                beeps_per_party[index] += bit
+                pending_beeps += bit
 
     stats_after = channel.stats.snapshot()
     delta = _stats_delta(stats_before, stats_after)

@@ -82,9 +82,14 @@ class FunctionalParty(Party):
         self.output = output
 
     def run(self) -> PartyProgram:
+        # This generator body runs once per party per round — the innermost
+        # loop of every Monte-Carlo trial — so attribute lookups are hoisted
+        # out of the loop.
         received: list[int] = []
+        broadcast = self.broadcast
+        input_value = self.input_value
+        append = received.append
         for _ in range(self.length):
-            bit = self.broadcast(self.input_value, received)
-            heard = yield bit
-            received.append(heard)
-        return self.output(self.input_value, received)
+            heard = yield broadcast(input_value, received)
+            append(heard)
+        return self.output(input_value, received)

@@ -15,6 +15,7 @@ random string), while remaining jointly deterministic given the seed.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from functools import partial
 from typing import Any, Callable, Sequence
 
 from repro.core.party import (
@@ -111,22 +112,15 @@ class FunctionalProtocol(Protocol):
 
     def _broadcast_for(self, index: int) -> BroadcastFunction:
         if callable(self._broadcast):
-            shared = self._broadcast
-
-            def bound(input_value: Any, prefix: Sequence[int]) -> int:
-                return shared(index, input_value, prefix)
-
-            return bound
+            # partial() binds the party index at C level; the broadcast
+            # function is called once per round in the engine's hot loop,
+            # where a Python closure's extra frame is measurable.
+            return partial(self._broadcast, index)
         return self._broadcast[index]
 
     def _output_for(self, index: int) -> OutputFunction:
         if callable(self._output):
-            shared = self._output
-
-            def bound(input_value: Any, received: Sequence[int]) -> Any:
-                return shared(index, input_value, received)
-
-            return bound
+            return partial(self._output, index)
         return self._output[index]
 
     def create_parties(

@@ -4,6 +4,10 @@
 the parties' outputs, the transcript, and a snapshot of the channel
 statistics.  It is the single return type of :func:`repro.core.engine.run_protocol`
 and of the simulators' ``simulate`` entry points.
+
+The transcript arrives in columnar form; ``to_dict(include_transcript=True)``
+serialises it through the O(T) bulk accessors (``or_values``, ``view``) —
+one column conversion per row, no per-round record objects.
 """
 
 from __future__ import annotations

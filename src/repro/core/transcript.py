@@ -1,20 +1,32 @@
 """Transcripts: the round-by-round record of an execution.
 
-A :class:`Transcript` stores one :class:`RoundRecord` per round.  Under
-correlated noise all parties share one view, retrievable with
+A :class:`Transcript` is stored **columnar**: one ``bytearray`` per field
+(true OR, shared received bit, noisy-round mask, and — when sent bits are
+recorded — one column per party), appended to with raw bytes by the
+engine's :meth:`Transcript.append_raw` write path.  :class:`RoundRecord`
+objects are materialized lazily, only when a round is indexed or iterated;
+the bulk accessors (:meth:`common_view`, :meth:`view`, :meth:`or_values`,
+:meth:`noise_positions`) are O(T) conversions of a single column with no
+per-round object creation.
+
+Under correlated noise all parties share one view, retrievable with
 :meth:`Transcript.common_view`; under independent noise each party has its
-own view, retrievable with :meth:`Transcript.view`.
+own view, retrievable with :meth:`Transcript.view`.  The shared column is
+the storage default; per-party received columns are only allocated the
+first time a round with divergent views is appended, so correlated
+executions never pay O(n·T) memory for views.
 
 Transcripts also retain the *sent* bits, which executions under test use to
 verify simulator bookkeeping (e.g. that an owner computed by Algorithm 1
 really beeped 1 in the round it owns).  Recording of sent bits can be turned
-off for long benchmark runs.
+off for long benchmark runs; with it off a transcript stores three bytes
+per round regardless of the party count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.errors import TranscriptError
 from repro.util.bits import BitWord
@@ -54,43 +66,189 @@ class RoundRecord:
 
 
 class Transcript:
-    """An append-only sequence of :class:`RoundRecord`.
+    """An append-only, columnar sequence of rounds.
 
-    Supports ``len``, indexing and iteration over records.
+    Supports ``len``, indexing (including negative indices and slices) and
+    iteration; indexing materializes a :class:`RoundRecord` on the fly from
+    the columns.  The engine appends through :meth:`append_raw`; the
+    record-level :meth:`append` remains as the compatibility write path.
     """
 
     def __init__(self, n_parties: int) -> None:
         if n_parties < 1:
             raise TranscriptError("a transcript needs at least one party")
         self.n_parties = n_parties
-        self._records: list[RoundRecord] = []
+        # Columns, one byte per round.
+        self._or = bytearray()
+        self._common = bytearray()  # party-0 received bit
+        self._noisy = bytearray()  # 1 where any reception != true OR
+        # Per-party received columns; allocated only once a round with
+        # divergent views shows up (independent noise).
+        self._recv_cols: list[bytearray] | None = None
+        self._divergent_total = 0
+        # Sent bits, stored row-major (round-major) in one flat bytearray so
+        # the engine's per-round write is a single C-level ``extend`` of the
+        # reused send buffer instead of an O(n) Python loop.  Allocated on
+        # the first recorded round; rounds without sent bits occupy a zero
+        # row (the mask below tells them apart) so round ``r`` always lives
+        # at offset ``r * n_parties``.
+        self._sent_flat: bytearray | None = None
+        self._zero_row = bytes(n_parties)
+        self._sent_mask = bytearray()  # 1 where the round recorded sent bits
+        self._sent_recorded_total = 0
+        self._noisy_total = 0
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+
+    def append_raw(
+        self,
+        sent: Sequence[int] | None,
+        or_value: int,
+        received: int | Sequence[int],
+    ) -> None:
+        """Append one round as raw column bytes — the engine's write path.
+
+        Args:
+            sent: Per-party sent bits, or ``None`` when not recorded.  The
+                sequence is copied into the columns immediately, so the
+                engine may reuse its send buffer.
+            or_value: The true OR of the round.
+            received: Either the single shared received bit (``int``, the
+                correlated fast path) or the per-party received word.
+
+        All bits must already be validated 0/1 ints; this method trades
+        the record-level validation of :meth:`append` for speed.
+        """
+        if isinstance(received, int):
+            self._common.append(received)
+            noisy = received != or_value
+            if self._recv_cols is not None:
+                for column in self._recv_cols:
+                    column.append(received)
+        else:
+            if len(received) != self.n_parties:
+                raise TranscriptError(
+                    f"record has {len(received)} received bits, "
+                    f"expected {self.n_parties}"
+                )
+            first = received[0]
+            columns = self._recv_cols
+            if columns is None:
+                diverged = False
+                for bit in received:
+                    if bit != first:
+                        diverged = True
+                        break
+                if diverged:
+                    columns = self._materialize_recv_columns()
+            if columns is None:
+                self._common.append(first)
+            else:
+                self._common.append(first)
+                round_diverged = False
+                for column, bit in zip(columns, received):
+                    column.append(bit)
+                    if bit != first:
+                        round_diverged = True
+                if round_diverged:
+                    self._divergent_total += 1
+            noisy = False
+            for bit in received:
+                if bit != or_value:
+                    noisy = True
+                    break
+        self._or.append(or_value)
+        self._noisy.append(noisy)
+        self._noisy_total += noisy
+        if sent is None:
+            if self._sent_flat is not None:
+                self._sent_flat.extend(self._zero_row)
+            self._sent_mask.append(0)
+        else:
+            if len(sent) != self.n_parties:
+                raise TranscriptError(
+                    f"record has {len(sent)} sent bits, "
+                    f"expected {self.n_parties}"
+                )
+            flat = self._sent_flat
+            if flat is None:
+                flat = self._materialize_sent_rows()
+            flat.extend(sent)
+            self._sent_mask.append(1)
+            self._sent_recorded_total += 1
 
     def append(self, record: RoundRecord) -> None:
-        """Append one round, validating arity."""
-        if len(record.received) != self.n_parties:
-            raise TranscriptError(
-                f"record has {len(record.received)} received bits, "
-                f"expected {self.n_parties}"
+        """Append one round from a :class:`RoundRecord` (compatibility path)."""
+        self.append_raw(record.sent, record.or_value, tuple(record.received))
+
+    def _materialize_recv_columns(self) -> list[bytearray]:
+        """Expand the shared column into per-party columns (first divergence)."""
+        shared = self._common
+        self._recv_cols = [
+            bytearray(shared) for _ in range(self.n_parties)
+        ]
+        return self._recv_cols
+
+    def _materialize_sent_rows(self) -> bytearray:
+        """Create the sent store, zero-padding rounds appended before it."""
+        self._sent_flat = bytearray(
+            len(self._sent_mask) * self.n_parties
+        )
+        return self._sent_flat
+
+    # ------------------------------------------------------------------
+    # Record materialization
+    # ------------------------------------------------------------------
+
+    def _materialize(self, index: int) -> RoundRecord:
+        if self._recv_cols is None:
+            received: BitWord = (self._common[index],) * self.n_parties
+        else:
+            received = tuple(column[index] for column in self._recv_cols)
+        if self._sent_flat is not None and self._sent_mask[index]:
+            base = index * self.n_parties
+            sent: BitWord | None = tuple(
+                self._sent_flat[base : base + self.n_parties]
             )
-        if record.sent is not None and len(record.sent) != self.n_parties:
-            raise TranscriptError(
-                f"record has {len(record.sent)} sent bits, "
-                f"expected {self.n_parties}"
-            )
-        self._records.append(record)
+        else:
+            sent = None
+        return RoundRecord(
+            sent=sent, or_value=self._or[index], received=received
+        )
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._or)
 
-    def __getitem__(self, index: int) -> RoundRecord:
-        return self._records[index]
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._materialize(i)
+                for i in range(*index.indices(len(self._or)))
+            ]
+        length = len(self._or)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("transcript round index out of range")
+        return self._materialize(index)
 
     def __iter__(self) -> Iterator[RoundRecord]:
-        return iter(self._records)
+        for index in range(len(self._or)):
+            yield self._materialize(index)
+
+    # ------------------------------------------------------------------
+    # Bulk accessors (single-column conversions, no per-round objects)
+    # ------------------------------------------------------------------
 
     def common_view(self) -> BitWord:
         """The shared received transcript (correlated channels only)."""
-        return tuple(record.common for record in self._records)
+        if self._divergent_total:
+            raise TranscriptError(
+                "received bits diverge across parties; no common view"
+            )
+        return tuple(self._common)
 
     def view(self, party_index: int) -> BitWord:
         """The received transcript as seen by one party."""
@@ -99,32 +257,42 @@ class Transcript:
                 f"party index {party_index} out of range "
                 f"[0, {self.n_parties})"
             )
-        return tuple(
-            record.received[party_index] for record in self._records
-        )
+        if self._recv_cols is None:
+            return tuple(self._common)
+        return tuple(self._recv_cols[party_index])
 
     def or_values(self) -> BitWord:
         """The true (pre-noise) OR of every round."""
-        return tuple(record.or_value for record in self._records)
+        return tuple(self._or)
 
     def sent_bits(self, party_index: int) -> BitWord:
         """The bits beeped by one party (requires sent recording)."""
-        bits: list[int] = []
-        for record in self._records:
-            if record.sent is None:
-                raise TranscriptError(
-                    "sent bits were not recorded for this transcript"
-                )
-            bits.append(record.sent[party_index])
-        return tuple(bits)
+        if not 0 <= party_index < self.n_parties:
+            raise TranscriptError(
+                f"party index {party_index} out of range "
+                f"[0, {self.n_parties})"
+            )
+        if self._sent_recorded_total != len(self._or):
+            raise TranscriptError(
+                "sent bits were not recorded for this transcript"
+            )
+        assert self._sent_flat is not None
+        # One party's column is a strided slice of the row-major store.
+        return tuple(self._sent_flat[party_index :: self.n_parties])
+
+    @property
+    def noisy_count(self) -> int:
+        """Number of rounds affected by noise (O(1), fed by the mask)."""
+        return self._noisy_total
 
     def noise_positions(self) -> tuple[int, ...]:
         """Indices of rounds affected by noise."""
-        return tuple(
-            index
-            for index, record in enumerate(self._records)
-            if record.noisy
-        )
+        mask = self._noisy
+        return tuple(index for index, flag in enumerate(mask) if flag)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
 
     def render(self, max_rounds: int = 64) -> str:
         """An ASCII timeline of the execution (debugging aid).
@@ -134,35 +302,40 @@ class Transcript:
         received row, with ``!`` marking noisy rounds.  Long transcripts
         are truncated to ``max_rounds`` with an ellipsis note.
 
-        Example output for three parties over four rounds::
+        Example output for two parties over four rounds, with the round-1
+        beep flipped away by noise (clean rounds show as spaces)::
 
             party 0 |#..#|
             party 1 |.#..|
             OR      |##.#|
-            heard   |#..#|  (! = noise)
-            noise   |.! ..|
+            heard   |#..#|
+            noise   | !  |
         """
-        records = self._records[:max_rounds]
+        shown = min(len(self._or), max_rounds)
         lines: list[str] = []
-        if records and records[0].sent is not None:
-            for party in range(self.n_parties):
+        if shown and self._sent_flat is not None and self._sent_mask[0]:
+            n = self.n_parties
+            flat = self._sent_flat
+            for party in range(n):
                 beeps = "".join(
-                    "#" if record.sent[party] else "."
-                    for record in records
+                    "#" if flat[i * n + party] else "."
+                    for i in range(shown)
                 )
                 lines.append(f"party {party:<2}|{beeps}|")
         or_row = "".join(
-            "#" if record.or_value else "." for record in records
+            "#" if self._or[i] else "." for i in range(shown)
         )
         lines.append(f"OR      |{or_row}|")
         heard = "".join(
-            "#" if record.received[0] else "." for record in records
+            "#" if self._common[i] else "." for i in range(shown)
         )
         lines.append(f"heard   |{heard}|")
-        noise = "".join("!" if record.noisy else " " for record in records)
+        noise = "".join(
+            "!" if self._noisy[i] else " " for i in range(shown)
+        )
         lines.append(f"noise   |{noise}|")
-        if len(self._records) > max_rounds:
+        if len(self._or) > max_rounds:
             lines.append(
-                f"... ({len(self._records) - max_rounds} more rounds)"
+                f"... ({len(self._or) - max_rounds} more rounds)"
             )
         return "\n".join(lines)

@@ -99,7 +99,13 @@ class SimulatorSpec:
 
 @dataclass(frozen=True)
 class ProtocolExecutor:
-    """Run the task's noiseless protocol raw over a per-trial channel."""
+    """Run the task's noiseless protocol raw over a per-trial channel.
+
+    ``record_sent=False`` is the memory lever for long Monte-Carlo sweeps:
+    the columnar transcript then stores three bytes per round regardless
+    of the party count, and trial outcomes (outputs, rounds, stats) are
+    unaffected — the engine's fast path is bitwise identical either way.
+    """
 
     task: Task
     channel: ChannelSpec

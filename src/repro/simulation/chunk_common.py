@@ -7,6 +7,12 @@ Appendix-D.2 :class:`~repro.simulation.hierarchical.HierarchicalSimulator`
 (phase 1), then run the finding-owners phase (phase 2).  This module holds
 that common sub-coroutine plus the inner-party replay helper and the
 per-party consistency check used by every verification flavour.
+
+Everything here runs inside the engine's per-round hot loop (each virtual
+round expands to ``repetitions`` channel rounds), so the building blocks
+avoid per-round allocation: :func:`~repro.simulation.primitives.repeated_bit`
+keeps a running vote count, and the chunk lists below grow by one entry per
+*virtual* round, not per channel round.
 """
 
 from __future__ import annotations

@@ -260,6 +260,9 @@ class ChunkCommitSimulator(Simulator):
             decoder=decoder,
             report=report,
         )
+        # record_sent=False: the simulation transcript is Θ(n log n) rounds
+        # and the scheme never reads its own sent bits, so the columnar
+        # transcript stores three bytes per round regardless of n.
         result = run_protocol(
             wrapped,
             inputs,

@@ -25,6 +25,12 @@ Differences from the paper's pseudocode, by necessity of actually running:
   ``|J| + n`` iterations suffice in general and that is what we run.
 * **Claims are restricted to positions with ``π_j = 1``** — claiming a
   position the shared transcript shows as 0 could not help verification.
+
+The phase's correctness leans on every party decoding the *same* received
+word, which is exactly the correlated model's guarantee; at the execution
+layer this is the engine's shared-bit fast path
+(:meth:`~repro.channels.base.Channel.transmit_shared`), so the common
+decoded symbol is common by construction, not by comparison.
 """
 
 from __future__ import annotations

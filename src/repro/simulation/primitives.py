@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator, Sequence
 
-from repro.util.bits import BitWord, majority_bit
+from repro.util.bits import BitWord
 
 __all__ = ["repeated_bit", "transmit_word", "silent_rounds"]
 
@@ -27,11 +27,15 @@ def repeated_bit(
     simulated protocol, hardened by repetition + majority vote.  It doubles
     as the error-flag OR vote of the verification phases (beep the flag,
     majority-decode the OR of all flags).
+
+    Runs once per virtual round inside every simulator, so the vote is a
+    running count rather than a list — same majority (strict, ties to 0),
+    no per-round allocation.
     """
-    votes: list[int] = []
+    ones = 0
     for _ in range(repetitions):
-        votes.append((yield bit))
-    return majority_bit(votes)
+        ones += yield bit
+    return 1 if 2 * ones > repetitions else 0
 
 
 def transmit_word(

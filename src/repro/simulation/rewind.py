@@ -249,6 +249,8 @@ class RewindSimulator(Simulator):
             iterations=iterations,
             report=report,
         )
+        # record_sent=False: with the columnar transcript this costs three
+        # bytes per simulated round, independent of the party count.
         result = run_protocol(
             wrapped,
             inputs,

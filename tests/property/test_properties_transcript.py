@@ -1,0 +1,98 @@
+"""Property-based tests for the columnar transcript storage.
+
+The columns are an internal representation; the contract is that every
+lazily-materialized :class:`RoundRecord` round-trips exactly what was
+appended — sent bits, received word, true OR, and noisy flag — no matter
+how shared-bit and word-path appends, recorded and unrecorded rounds, are
+interleaved.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transcript import RoundRecord, Transcript
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+@st.composite
+def transcript_rounds(draw):
+    """A party count plus a mixed batch of appended rounds.
+
+    Each round is (sent | None, or_value, received) where received is
+    either a shared int (fast path) or a full word (word path).
+    """
+    n = draw(st.integers(min_value=1, max_value=6))
+    n_rounds = draw(st.integers(min_value=0, max_value=30))
+    rounds = []
+    for _ in range(n_rounds):
+        sent = draw(
+            st.one_of(
+                st.none(),
+                st.lists(bits, min_size=n, max_size=n),
+            )
+        )
+        or_value = 1 if sent and any(sent) else draw(bits)
+        if draw(st.booleans()):
+            received = draw(bits)  # shared fast path
+        else:
+            received = tuple(
+                draw(st.lists(bits, min_size=n, max_size=n))
+            )
+        rounds.append((sent, or_value, received))
+    return n, rounds
+
+
+class TestRoundRecordRoundTrip:
+    @given(data=transcript_rounds())
+    @settings(max_examples=200)
+    def test_materialized_records_round_trip(self, data):
+        n, rounds = data
+        transcript = Transcript(n)
+        expected = []
+        for sent, or_value, received in rounds:
+            transcript.append_raw(sent, or_value, received)
+            word = (
+                (received,) * n
+                if isinstance(received, int)
+                else tuple(received)
+            )
+            expected.append(
+                RoundRecord(
+                    sent=tuple(sent) if sent is not None else None,
+                    or_value=or_value,
+                    received=word,
+                )
+            )
+
+        assert len(transcript) == len(expected)
+        # Indexing, iteration and slicing all materialize the same records.
+        assert list(transcript) == expected
+        assert transcript[:] == expected
+        for index, record in enumerate(expected):
+            materialized = transcript[index]
+            assert materialized.sent == record.sent
+            assert materialized.received == record.received
+            assert materialized.or_value == record.or_value
+            assert materialized.noisy == record.noisy
+
+    @given(data=transcript_rounds())
+    @settings(max_examples=100)
+    def test_column_accessors_agree_with_records(self, data):
+        n, rounds = data
+        transcript = Transcript(n)
+        for sent, or_value, received in rounds:
+            transcript.append_raw(sent, or_value, received)
+
+        records = list(transcript)
+        assert transcript.or_values() == tuple(
+            r.or_value for r in records
+        )
+        assert transcript.noisy_count == sum(r.noisy for r in records)
+        assert transcript.noise_positions() == tuple(
+            i for i, r in enumerate(records) if r.noisy
+        )
+        for party in range(n):
+            assert transcript.view(party) == tuple(
+                r.received[party] for r in records
+            )

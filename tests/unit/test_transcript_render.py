@@ -56,3 +56,21 @@ class TestRender:
 
         rendered = Transcript(2).render()
         assert "OR      ||" in rendered
+
+    def test_docstring_example_is_exact(self):
+        """Pin the render format to the example in ``Transcript.render``."""
+        from repro.core.transcript import Transcript
+
+        transcript = Transcript(2)
+        # Two parties over four rounds; the round-1 beep is flipped away.
+        transcript.append_raw([1, 0], 1, 1)
+        transcript.append_raw([0, 1], 1, 0)  # noisy: OR=1, heard 0
+        transcript.append_raw([0, 0], 0, 0)
+        transcript.append_raw([1, 0], 1, 1)
+        assert transcript.render() == (
+            "party 0 |#..#|\n"
+            "party 1 |.#..|\n"
+            "OR      |##.#|\n"
+            "heard   |#..#|\n"
+            "noise   | !  |"
+        )
