@@ -11,8 +11,11 @@ skips pytest and times the columnar fast-path engine against the seed
 reference loop (:mod:`repro.core._legacy_engine`) over a correlated
 channel at n ∈ {8, 32, 128}, both ``record_sent`` modes, writing
 machine-readable rounds/s and speedup ratios to
-``benchmarks/results/BENCH_engine.json``.  CI's benchmark-smoke job runs
-exactly this and fails on engine import/behaviour regressions.
+``benchmarks/results/BENCH_engine.json``.  ``--compare REFERENCE_JSON``
+additionally fails (exit 1) if the fast path's rounds/s drops more than
+``--tolerance`` (default 5%) below the reference — CI's benchmark-smoke
+job compares against the committed reference to catch instrumentation
+overhead leaking into the observability-disabled path.
 """
 
 from __future__ import annotations
@@ -203,9 +206,13 @@ def run_engine_benchmark(quick: bool = False) -> dict:
     from repro.core import run_protocol as fast_engine
     from repro.core._legacy_engine import legacy_run_protocol as legacy_engine
 
-    trials = 10 if quick else 30
-    length = 1000 if quick else 2000
-    repeats = 3 if quick else 5
+    # Quick mode cuts trials/repeats but keeps the full per-trial length:
+    # rounds/s amortizes per-trial setup over the trial length, so only a
+    # matched length makes quick runs comparable to the archival reference
+    # (the --compare guard depends on this).
+    trials = 5 if quick else 30
+    length = 2000
+    repeats = 5
     payload: dict = {
         "benchmark": "engine_throughput",
         "channel": "CorrelatedNoiseChannel(0.1)",
@@ -239,7 +246,115 @@ def run_engine_benchmark(quick: bool = False) -> dict:
     return payload
 
 
-def main() -> None:
+def compare_to_reference(
+    payload: dict, reference: dict, tolerance: float
+) -> list[dict]:
+    """Regression check of fast-path throughput against a reference run.
+
+    Returns the payload entries whose measured ``fast_rounds_per_sec``
+    fell more than ``tolerance`` below the reference's for the same
+    (n_parties, record_sent) configuration.  Configurations missing from
+    either side are skipped — the guard is for regressions, not coverage.
+
+    The floor is scaled by the legacy engine's drift (measured/reference,
+    clamped to at most 1): the legacy loop is frozen code measured in the
+    same process, so when it runs slower than the reference did, that is
+    the machine, not a regression, and the expectation shrinks with it.
+    A change that slows only the fast path leaves the legacy rate — and
+    therefore the floor — untouched.
+    """
+    by_config = {
+        (entry["n_parties"], entry["record_sent"]): entry
+        for entry in reference.get("results", [])
+    }
+    failures: list[dict] = []
+    for entry in payload["results"]:
+        ref = by_config.get((entry["n_parties"], entry["record_sent"]))
+        if ref is None:
+            continue
+        measured = entry["fast_rounds_per_sec"]
+        machine = min(
+            1.0,
+            entry["legacy_rounds_per_sec"] / ref["legacy_rounds_per_sec"],
+        )
+        floor = ref["fast_rounds_per_sec"] * (1.0 - tolerance) * machine
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"compare n={entry['n_parties']:<4} "
+            f"record_sent={str(entry['record_sent']):<5} "
+            f"measured {measured:>10,} r/s   "
+            f"reference {ref['fast_rounds_per_sec']:>10,} r/s   "
+            f"floor {floor:>12,.0f}   {verdict}"
+        )
+        if measured < floor:
+            failures.append(entry)
+    return failures
+
+
+def check_against_reference(
+    payload: dict, reference: dict, tolerance: float, attempts: int = 3
+) -> list[str]:
+    """``compare_to_reference`` with re-measurement of transient misses.
+
+    A wall-clock rate on a shared machine can dip far below its true
+    value whenever background load overlaps the timing window, so one
+    low sample is not evidence of a regression.  Configurations that
+    miss the floor are re-measured (fast path only — the guarded
+    quantity) and their best-of grows across attempts; only a config
+    that misses on every attempt is reported.  A genuine slowdown fails
+    all attempts identically, so retries cost honest regressions
+    nothing but time.
+    """
+    from repro.core import run_protocol as fast_engine
+
+    trials = payload["trials"]
+    length = payload["rounds_per_trial"]
+    repeats = payload["repeats"]
+    for attempt in range(attempts):
+        failures = compare_to_reference(payload, reference, tolerance)
+        if not failures:
+            return []
+        if attempt == attempts - 1:
+            break
+        print(f"re-measuring {len(failures)} config(s) that missed the floor")
+        for entry in failures:
+            rate = _time_engine(
+                fast_engine,
+                entry["n_parties"],
+                entry["record_sent"],
+                trials,
+                length,
+                repeats,
+            )
+            entry["fast_rounds_per_sec"] = max(
+                entry["fast_rounds_per_sec"], round(rate)
+            )
+            entry["speedup"] = round(
+                entry["fast_rounds_per_sec"]
+                / entry["legacy_rounds_per_sec"],
+                2,
+            )
+    by_config = {
+        (entry["n_parties"], entry["record_sent"]): entry
+        for entry in reference.get("results", [])
+    }
+    messages = []
+    for entry in failures:
+        ref = by_config[(entry["n_parties"], entry["record_sent"])]
+        machine = min(
+            1.0,
+            entry["legacy_rounds_per_sec"] / ref["legacy_rounds_per_sec"],
+        )
+        messages.append(
+            f"n={entry['n_parties']} record_sent={entry['record_sent']}: "
+            f"{entry['fast_rounds_per_sec']:,} r/s < "
+            f"{ref['fast_rounds_per_sec'] * (1 - tolerance) * machine:,.0f}"
+            f" r/s (reference - {tolerance:.0%}, machine x{machine:.2f})"
+        )
+    return messages
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(
         description="Engine throughput benchmark (fast path vs seed loop)"
     )
@@ -255,13 +370,47 @@ def main() -> None:
         ),
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="REFERENCE_JSON",
+        help=(
+            "fail if fast-path throughput regresses more than --tolerance "
+            "below this reference results file"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative throughput drop for --compare (default 0.05)",
+    )
     args = parser.parse_args()
+    # Read the reference before running: --compare and --output may name
+    # the same file, and the write below would clobber it.
+    reference = (
+        json.loads(Path(args.compare).read_text()) if args.compare else None
+    )
     payload = run_engine_benchmark(quick=args.quick)
+    failures: list[str] = []
+    if reference is not None:
+        # Before writing: retries fold their best-of back into the payload.
+        failures = check_against_reference(payload, reference, args.tolerance)
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
+    if reference is not None:
+        if failures:
+            print("throughput regression vs reference:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"throughput within {args.tolerance:.0%} of reference "
+            f"({args.compare})"
+        )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

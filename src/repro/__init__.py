@@ -94,9 +94,29 @@ from repro.parallel import (
     SimulationExecutor,
     SimulatorSpec,
     TrialRunner,
+    get_default_runner,
     make_runner,
     set_default_runner,
     use_runner,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSpec,
+    estimate_success,
+    overhead_curve,
+    run_sweep,
+    run_sweep_point,
+    success_curve,
+)
+from repro.observe import (
+    JsonlSink,
+    MetricsCollector,
+    NO_OBSERVER,
+    NullObserver,
+    Observer,
+    Sink,
+    SummarySink,
+    read_jsonl,
 )
 from repro.lowerbound import LowerBoundAnalyzer
 from repro.errors import (
@@ -145,7 +165,6 @@ __all__ = [
     "SequentialProtocol",
     "TruncatedProtocol",
     "announce_input",
-    "formalize_protocol",
     # coding
     "BlockCode",
     "RepetitionCode",
@@ -178,12 +197,35 @@ __all__ = [
     "SerialRunner",
     "ProcessPoolRunner",
     "make_runner",
+    "get_default_runner",
     "set_default_runner",
     "use_runner",
     "ChannelSpec",
     "SimulatorSpec",
     "ProtocolExecutor",
     "SimulationExecutor",
+    # sweeps
+    "SweepSpec",
+    "SweepPoint",
+    "run_sweep_point",
+    "run_sweep",
+    "estimate_success",
+    "success_curve",
+    "overhead_curve",
+    # observability
+    "Observer",
+    "NullObserver",
+    "NO_OBSERVER",
+    "Sink",
+    "MetricsCollector",
+    "JsonlSink",
+    "SummarySink",
+    "read_jsonl",
+    # experiments / reporting (lazy — see __getattr__)
+    "run_experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "generate_report",
     # lower bound
     "LowerBoundAnalyzer",
     # errors
@@ -199,3 +241,32 @@ __all__ = [
     "SimulationBudgetExceeded",
     "TaskError",
 ]
+
+
+# The experiment registry imports all 13 experiment modules; the report
+# generator pulls in the registry.  Resolve these names lazily (PEP 562)
+# so ``import repro`` stays light for library users.
+_LAZY_EXPORTS = {
+    "run_experiment": ("repro.experiments", "run_experiment"),
+    "ExperimentResult": ("repro.experiments", "ExperimentResult"),
+    "REGISTRY": ("repro.experiments", "REGISTRY"),
+    "generate_report": ("repro.analysis.reporting", "generate_report"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: resolve once per process
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -22,8 +22,11 @@ from repro.analysis.stats import (
 from repro.analysis.fitting import LogFit, fit_log, fit_linear
 from repro.analysis.sweep import (
     SweepPoint,
+    SweepSpec,
     estimate_success,
     overhead_curve,
+    run_sweep,
+    run_sweep_point,
     success_curve,
 )
 from repro.analysis.tables import format_table
@@ -39,6 +42,9 @@ __all__ = [
     "fit_log",
     "fit_linear",
     "SweepPoint",
+    "SweepSpec",
+    "run_sweep_point",
+    "run_sweep",
     "estimate_success",
     "success_curve",
     "overhead_curve",

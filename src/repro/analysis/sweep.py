@@ -2,8 +2,14 @@
 
 The benchmarks all share one loop: sample task inputs, run some executor
 (a raw protocol or a simulator) over a freshly seeded channel, check the
-outputs, aggregate.  :func:`estimate_success` is that loop;
-:func:`success_curve`/:func:`overhead_curve` run it across a parameter grid.
+outputs, aggregate.  :class:`SweepSpec` names the loop's execution knobs
+once — ``trials``, ``seed``, ``runner``, ``observe`` — and
+:func:`run_sweep_point`/:func:`run_sweep` are the loop over one grid point
+and over a whole grid.  :func:`estimate_success`,
+:func:`success_curve` and :func:`overhead_curve` are thin compatibility
+wrappers that keep the historical flat-keyword signatures (now extended
+with the same ``observe=`` keyword); see ``docs/api.md`` for the exact
+old-to-new mapping.
 
 Executors receive ``(inputs, trial_seed)`` and return an
 :class:`~repro.core.result.ExecutionResult`; they are expected to construct
@@ -18,13 +24,19 @@ happens here in index order, every backend — serial or process pool, any
 worker count, any chunk size — produces bitwise identical
 :class:`SweepPoint` values.  Wall-clock measurements go to
 :attr:`SweepPoint.timing`, which ``to_dict()`` excludes by default so
-serialized results stay backend-independent.
+serialized results stay backend-independent.  The same invariance holds
+for tracing: an :class:`~repro.observe.Observer` receives ``trial`` /
+``sweep_batch`` / ``sweep_point`` events derived from the records, never
+influences them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.analysis.stats import ProportionEstimate, mean
 from repro.core.result import ExecutionResult
@@ -33,7 +45,15 @@ from repro.parallel import TrialBatch, TrialRunner, get_default_runner
 from repro.rng import derive_seed
 from repro.tasks.base import Task
 
-__all__ = ["SweepPoint", "estimate_success", "success_curve", "overhead_curve"]
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "run_sweep_point",
+    "run_sweep",
+    "estimate_success",
+    "success_curve",
+    "overhead_curve",
+]
 
 Executor = Callable[[Sequence[Any], int], ExecutionResult]
 
@@ -126,6 +146,124 @@ def _aggregate_batch(
     )
 
 
+@dataclass
+class SweepSpec:
+    """The execution knobs every sweep entry point shares.
+
+    One spec names *how* a sweep runs — how many trials per point, the
+    master seed, which :class:`~repro.parallel.runner.TrialRunner`
+    backend, and an optional :class:`~repro.observe.Observer` — separate
+    from *what* runs (the task/executor pair or grid).  Every field is
+    orthogonal: the estimate is bitwise independent of ``runner`` and
+    ``observe``; only ``trials`` and ``seed`` shape the numbers.
+
+    Attributes:
+        trials: Independent trials per grid point (>= 1).
+        seed: Master seed; grid point ``i`` derives
+            ``derive_seed(seed, f"point[{i}]")``, and trial ``j`` within a
+            point draws from the labels in
+            :func:`repro.parallel.runner.run_trial`.
+        runner: Execution backend; ``None`` means the process-wide
+            default (see :func:`repro.parallel.get_default_runner`).
+        observe: Trace-event observer; ``None`` (or a disabled observer)
+            is free.
+    """
+
+    trials: int = 100
+    seed: int = 0
+    runner: TrialRunner | None = None
+    observe: "Observer | None" = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials}"
+            )
+
+    def resolve_runner(self) -> TrialRunner:
+        """The backend this spec actually uses."""
+        return self.runner if self.runner is not None else get_default_runner()
+
+    def with_seed(self, seed: int) -> "SweepSpec":
+        """A copy of this spec with a different master seed."""
+        return SweepSpec(
+            trials=self.trials,
+            seed=seed,
+            runner=self.runner,
+            observe=self.observe,
+        )
+
+
+def run_sweep_point(
+    task: Task,
+    executor: Executor,
+    spec: SweepSpec,
+    *,
+    params: dict[str, Any] | None = None,
+) -> SweepPoint:
+    """Run one grid point under ``spec`` and aggregate.
+
+    Each trial gets inputs from ``task.sample_inputs`` (seeded sub-stream)
+    and a distinct ``trial_seed`` for the executor's channel/protocol
+    randomness.  Success is ``task.is_correct(inputs, outputs)``.
+
+    When ``spec.observe`` is enabled, the runner's ``trial`` /
+    ``sweep_batch`` events are followed by one ``sweep_point`` event with
+    the aggregated numbers.
+    """
+    noiseless_length = max(1, task.noiseless_length())
+    observe = spec.observe
+    batch = spec.resolve_runner().run_trials(
+        task, executor, spec.trials, seed=spec.seed, observe=observe
+    )
+    point = _aggregate_batch(batch, spec.trials, noiseless_length, params)
+    if observe is not None and observe.enabled:
+        observe.emit(
+            "sweep_point",
+            params=dict(point.params),
+            trials=point.success.trials,
+            successes=point.success.successes,
+            mean_rounds=point.mean_rounds,
+            mean_overhead=point.mean_overhead,
+        )
+    return point
+
+
+PointBuilder = Callable[[Any], tuple[Task, Executor, dict[str, Any]]]
+
+
+def run_sweep(
+    values: Iterable[Any],
+    point_builder: PointBuilder,
+    spec: SweepSpec,
+) -> list[SweepPoint]:
+    """Sweep a grid under ``spec``:
+    ``point_builder(value) -> (task, executor, params)``.
+
+    Each grid point gets a derived seed so points are independent but the
+    curve is reproducible.  A pooled runner is reused across grid points,
+    so worker startup is paid once per curve.
+    """
+    points: list[SweepPoint] = []
+    for index, value in enumerate(values):
+        task, executor, params = point_builder(value)
+        points.append(
+            run_sweep_point(
+                task,
+                executor,
+                spec.with_seed(derive_seed(spec.seed, f"point[{index}]")),
+                params=params,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Compatibility wrappers: the historical flat-keyword signatures.  They
+# build a SweepSpec and delegate; see docs/api.md for the mapping.
+# ---------------------------------------------------------------------------
+
+
 def estimate_success(
     task: Task,
     executor: Executor,
@@ -134,26 +272,20 @@ def estimate_success(
     seed: int = 0,
     params: dict[str, Any] | None = None,
     runner: TrialRunner | None = None,
+    observe: "Observer | None" = None,
 ) -> SweepPoint:
     """Run ``trials`` independent executions and aggregate.
 
-    Each trial gets inputs from ``task.sample_inputs`` (seeded sub-stream)
-    and a distinct ``trial_seed`` for the executor's channel/protocol
-    randomness.  Success is ``task.is_correct(inputs, outputs)``.
-
-    ``runner`` picks the execution backend (default: the process-wide
-    default runner, serial unless installed otherwise); the estimate is
-    bitwise independent of that choice.
+    Compatibility wrapper over :func:`run_sweep_point` —
+    ``run_sweep_point(task, executor, SweepSpec(trials, seed, runner,
+    observe), params=params)``.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    noiseless_length = max(1, task.noiseless_length())
-    active = runner if runner is not None else get_default_runner()
-    batch = active.run_trials(task, executor, trials, seed=seed)
-    return _aggregate_batch(batch, trials, noiseless_length, params)
-
-
-PointBuilder = Callable[[Any], tuple[Task, Executor, dict[str, Any]]]
+    return run_sweep_point(
+        task,
+        executor,
+        SweepSpec(trials=trials, seed=seed, runner=runner, observe=observe),
+        params=params,
+    )
 
 
 def success_curve(
@@ -163,27 +295,19 @@ def success_curve(
     *,
     seed: int = 0,
     runner: TrialRunner | None = None,
+    observe: "Observer | None" = None,
 ) -> list[SweepPoint]:
     """Sweep a grid: ``point_builder(value) -> (task, executor, params)``.
 
-    Each grid point gets a derived seed so points are independent but the
-    curve is reproducible.  A pooled ``runner`` is reused across grid
-    points, so worker startup is paid once per curve.
+    Compatibility wrapper over :func:`run_sweep` —
+    ``run_sweep(values, point_builder, SweepSpec(trials, seed, runner,
+    observe))``.
     """
-    points: list[SweepPoint] = []
-    for index, value in enumerate(values):
-        task, executor, params = point_builder(value)
-        points.append(
-            estimate_success(
-                task,
-                executor,
-                trials,
-                seed=derive_seed(seed, f"point[{index}]"),
-                params=params,
-                runner=runner,
-            )
-        )
-    return points
+    return run_sweep(
+        values,
+        point_builder,
+        SweepSpec(trials=trials, seed=seed, runner=runner, observe=observe),
+    )
 
 
 def overhead_curve(
@@ -193,12 +317,15 @@ def overhead_curve(
     *,
     seed: int = 0,
     runner: TrialRunner | None = None,
+    observe: "Observer | None" = None,
 ) -> list[tuple[Any, float]]:
     """Like :func:`success_curve` but return ``(value, mean_overhead)``
     pairs — the series the Θ(log n) fits consume."""
     values = list(values)
-    points = success_curve(
-        values, point_builder, trials, seed=seed, runner=runner
+    points = run_sweep(
+        values,
+        point_builder,
+        SweepSpec(trials=trials, seed=seed, runner=runner, observe=observe),
     )
     return [
         (value, point.mean_overhead)

@@ -5,9 +5,19 @@ Commands:
 * ``info`` — package, model and scheme summary.
 * ``demo`` — run one task over a noisy channel with a chosen simulator and
   print what happened (the quickstart, parameterised).
+* ``trace`` — the same run with the observability layer attached: emit the
+  documented trace events (chunk attempts, rewinds, owner disagreements,
+  noise flips) to a JSONL file and/or a terminal summary.
 * ``overhead`` — measure the simulation overhead across a sweep of n and
   fit the Θ(log n) curve.
 * ``experiments`` — list the benchmark experiments and how to run them.
+
+Every subcommand that runs trials shares the same execution surface
+(:func:`add_common_run_args`: ``--trials/--seed/--workers``), builds
+picklable :class:`~repro.parallel.ChannelSpec`-based executors, and
+dispatches through the trial-runner registry
+(:func:`repro.parallel.make_runner`), so ``--workers N`` behaves
+identically everywhere and results are bitwise independent of it.
 
 Every command is a plain function taking parsed arguments and returning an
 exit code, so the CLI is unit-testable without subprocesses.
@@ -16,12 +26,12 @@ exit code, so the CLI is unit-testable without subprocesses.
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import Sequence
 
 from repro import __version__
-from repro.analysis import estimate_success, fit_log, format_table
+from repro.analysis import fit_log, format_table
+from repro.analysis.sweep import SweepSpec, run_sweep_point
 from repro.channels import (
     BurstNoiseChannel,
     CorrelatedNoiseChannel,
@@ -29,6 +39,13 @@ from repro.channels import (
     NoiselessChannel,
     OneSidedNoiseChannel,
     SuppressionNoiseChannel,
+)
+from repro.parallel import (
+    ChannelSpec,
+    ProtocolExecutor,
+    SimulationExecutor,
+    SimulatorSpec,
+    make_runner,
 )
 from repro.simulation import (
     ChunkCommitSimulator,
@@ -46,24 +63,29 @@ from repro.tasks import (
     SizeEstimateTask,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_common_run_args"]
 
-_CHANNELS = {
-    "noiseless": lambda epsilon, seed: NoiselessChannel(),
-    "correlated": lambda epsilon, seed: CorrelatedNoiseChannel(
-        epsilon, rng=seed
+# Channel registry: name -> ChannelSpec builder.  Specs (not closures) so
+# every subcommand's executor pickles and --workers > 1 actually
+# parallelises; the per-trial seed is injected by ChannelSpec.make.
+_CHANNEL_SPECS = {
+    "noiseless": lambda epsilon: ChannelSpec.of(
+        NoiselessChannel, seed_kwarg=None
     ),
-    "one-sided": lambda epsilon, seed: OneSidedNoiseChannel(
-        epsilon, rng=seed
+    "correlated": lambda epsilon: ChannelSpec.of(
+        CorrelatedNoiseChannel, epsilon
     ),
-    "suppression": lambda epsilon, seed: SuppressionNoiseChannel(
-        epsilon, rng=seed
+    "one-sided": lambda epsilon: ChannelSpec.of(
+        OneSidedNoiseChannel, epsilon
     ),
-    "independent": lambda epsilon, seed: IndependentNoiseChannel(
-        epsilon, rng=seed
+    "suppression": lambda epsilon: ChannelSpec.of(
+        SuppressionNoiseChannel, epsilon
     ),
-    "burst": lambda epsilon, seed: BurstNoiseChannel.matched_to(
-        epsilon, burst_length=8, rng=seed
+    "independent": lambda epsilon: ChannelSpec.of(
+        IndependentNoiseChannel, epsilon
+    ),
+    "burst": lambda epsilon: ChannelSpec.of(
+        BurstNoiseChannel.matched_to, epsilon, burst_length=8
     ),
 }
 
@@ -74,6 +96,19 @@ _SIMULATORS = {
     "hierarchical": HierarchicalSimulator,
     "rewind": RewindSimulator,
 }
+
+
+def _make_executor(task, channel_name: str, epsilon: float, simulator_name: str):
+    """The picklable executor every run subcommand shares."""
+    channel = _CHANNEL_SPECS[channel_name](epsilon)
+    simulator_cls = _SIMULATORS[simulator_name]
+    if simulator_cls is None:
+        return ProtocolExecutor(task=task, channel=channel)
+    return SimulationExecutor(
+        task=task,
+        channel=channel,
+        simulator=SimulatorSpec.of(simulator_cls),
+    )
 
 
 def _make_task(name: str, n: int):
@@ -99,7 +134,7 @@ def cmd_info(_args: argparse.Namespace) -> int:
     print("the beeped bits, flipped with probability epsilon (correlated:")
     print("all parties receive the same flip).")
     print()
-    print("Channels  :", ", ".join(sorted(_CHANNELS)))
+    print("Channels  :", ", ".join(sorted(_CHANNEL_SPECS)))
     print("Simulators:", ", ".join(sorted(_SIMULATORS)))
     print("Tasks     : input-set, or, parity, max-id, bit-exchange, "
           "size-estimate, pointer-chasing")
@@ -111,51 +146,77 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 def cmd_demo(args: argparse.Namespace) -> int:
     task = _make_task(args.task, args.n)
-    channel_factory = _CHANNELS[args.channel]
-    simulator_cls = _SIMULATORS[args.simulator]
-    rng = random.Random(args.seed)
-
-    wins = 0
-    rounds = 0
-    overhead = 0.0
-    for trial in range(args.trials):
-        inputs = task.sample_inputs(rng)
-        channel = channel_factory(args.epsilon, args.seed + 7919 * trial)
-        if simulator_cls is None:
-            from repro.core import run_protocol
-
-            result = run_protocol(
-                task.noiseless_protocol(), inputs, channel
-            )
-        else:
-            result = simulator_cls().simulate(
-                task.noiseless_protocol(), inputs, channel
-            )
-        wins += task.is_correct(inputs, result.outputs)
-        rounds = result.rounds
-        overhead = result.rounds / max(1, task.noiseless_length())
+    executor = _make_executor(task, args.channel, args.epsilon, args.simulator)
+    runner = make_runner(args.workers)
+    try:
+        point = run_sweep_point(
+            task,
+            executor,
+            SweepSpec(trials=args.trials, seed=args.seed, runner=runner),
+        )
+    finally:
+        runner.close()
+    wins = point.success.successes
+    overhead = point.mean_overhead
     print(
         f"task={args.task} n={task.n_parties} channel={args.channel} "
         f"epsilon={args.epsilon} simulator={args.simulator}"
     )
     print(
-        f"success: {wins}/{args.trials}   rounds: {rounds} "
+        f"success: {wins}/{args.trials}   rounds: {point.mean_rounds:.0f} "
         f"(overhead x{overhead:.1f} vs {task.noiseless_length()} noiseless)"
     )
     return 0 if wins > args.trials // 2 else 1
 
 
-def cmd_overhead(args: argparse.Namespace) -> int:
-    from repro.parallel import (
-        ChannelSpec,
-        SimulationExecutor,
-        SimulatorSpec,
-        make_runner,
-    )
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observe import JsonlSink, Observer, SummarySink
+    from repro.rng import derive_seed, spawn
 
+    task = _make_task(args.task, args.n)
+    executor = _make_executor(task, args.channel, args.epsilon, args.simulator)
+
+    sinks = []
+    if args.output:
+        sinks.append(JsonlSink(args.output))
+    if not args.output or args.summary:
+        sinks.append(SummarySink())
+    observer = Observer(sinks)
+
+    # Trials run in-process with the sweep layer's exact seed labels
+    # (see repro.parallel.runner.run_trial), so each traced trial is the
+    # same execution a sweep would have run — just with events attached.
+    wins = 0
+    with observer:
+        for index in range(args.trials):
+            inputs = task.sample_inputs(spawn(args.seed, f"inputs[{index}]"))
+            trial_seed = derive_seed(args.seed, f"trial[{index}]")
+            result = executor(inputs, trial_seed, observe=observer)
+            success = bool(task.is_correct(inputs, result.outputs))
+            wins += success
+            observer.emit(
+                "trial",
+                index=index,
+                success=success,
+                rounds=float(result.rounds),
+                flips=result.channel_stats.flips,
+                total_energy=result.total_energy,
+            )
+    print(
+        f"traced {args.trials} trial(s): task={args.task} "
+        f"n={task.n_parties} channel={args.channel} "
+        f"epsilon={args.epsilon} simulator={args.simulator} "
+        f"success={wins}/{args.trials}",
+        file=sys.stderr,
+    )
+    if args.output:
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
     ns = args.ns
-    simulator_cls = _SIMULATORS[args.simulator]
-    if simulator_cls is None:
+    if args.simulator == "none":
         print("overhead needs a real simulator (not 'none')", file=sys.stderr)
         return 2
     rows = []
@@ -167,20 +228,15 @@ def cmd_overhead(args: argparse.Namespace) -> int:
             task = InputSetTask(n)
             # Picklable executor so --workers > 1 can fan trials out to a
             # process pool; results are identical for every worker count.
-            executor = SimulationExecutor(
-                task=task,
-                channel=ChannelSpec.of(
-                    CorrelatedNoiseChannel, args.epsilon
-                ),
-                simulator=SimulatorSpec.of(simulator_cls),
+            executor = _make_executor(
+                task, "correlated", args.epsilon, args.simulator
             )
-
-            point = estimate_success(
+            point = run_sweep_point(
                 task,
                 executor,
-                trials=args.trials,
-                seed=args.seed + n,
-                runner=runner,
+                SweepSpec(
+                    trials=args.trials, seed=args.seed + n, runner=runner
+                ),
             )
             overheads.append(point.mean_overhead)
             trials_per_s.append(point.timing.get("trials_per_s", 0.0))
@@ -267,6 +323,56 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+_TASK_CHOICES = [
+    "input-set",
+    "or",
+    "parity",
+    "max-id",
+    "bit-exchange",
+    "size-estimate",
+    "pointer-chasing",
+]
+
+
+def add_common_run_args(
+    parser: argparse.ArgumentParser, *, trials_default: int = 10
+) -> None:
+    """The execution knobs every trial-running subcommand shares.
+
+    Mirrors :class:`~repro.analysis.sweep.SweepSpec`: ``--trials`` and
+    ``--seed`` shape the numbers, ``--workers`` only the wall-clock.
+    """
+    parser.add_argument("--trials", type=int, default=trials_default)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial-runner workers (process pool when > 1; results are "
+        "identical for any worker count)",
+    )
+
+
+def _add_scenario_args(
+    parser: argparse.ArgumentParser, *, include_simulator_none: bool = True
+) -> None:
+    """Task/channel/simulator selection shared by demo and trace."""
+    parser.add_argument(
+        "--task", choices=_TASK_CHOICES, default="input-set"
+    )
+    parser.add_argument("--n", type=int, default=8, help="party count")
+    parser.add_argument(
+        "--channel", choices=sorted(_CHANNEL_SPECS), default="correlated"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    simulators = sorted(_SIMULATORS)
+    if not include_simulator_none:
+        simulators = [name for name in simulators if name != "none"]
+    parser.add_argument(
+        "--simulator", choices=simulators, default="chunk"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,30 +389,28 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser(
         "demo", help="run a task over a noisy channel"
     )
-    demo.add_argument(
-        "--task",
-        choices=[
-            "input-set",
-            "or",
-            "parity",
-            "max-id",
-            "bit-exchange",
-            "size-estimate",
-            "pointer-chasing",
-        ],
-        default="input-set",
-    )
-    demo.add_argument("--n", type=int, default=8, help="party count")
-    demo.add_argument(
-        "--channel", choices=sorted(_CHANNELS), default="correlated"
-    )
-    demo.add_argument("--epsilon", type=float, default=0.1)
-    demo.add_argument(
-        "--simulator", choices=sorted(_SIMULATORS), default="chunk"
-    )
-    demo.add_argument("--trials", type=int, default=10)
-    demo.add_argument("--seed", type=int, default=0)
+    _add_scenario_args(demo)
+    add_common_run_args(demo, trials_default=10)
     demo.set_defaults(func=cmd_demo)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run with the observability layer attached and emit events",
+    )
+    _add_scenario_args(trace)
+    add_common_run_args(trace, trials_default=1)
+    trace.add_argument(
+        "-o",
+        "--output",
+        help="write events as JSON lines to this file "
+        "(default: print a summary table)",
+    )
+    trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the summary table even when writing --output",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     overhead = subparsers.add_parser(
         "overhead", help="measure the Theta(log n) overhead curve"
@@ -320,15 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[name for name in sorted(_SIMULATORS) if name != "none"],
         default="chunk",
     )
-    overhead.add_argument("--trials", type=int, default=3)
-    overhead.add_argument("--seed", type=int, default=0)
-    overhead.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="trial-runner workers (process pool when > 1; results are "
-        "identical for any worker count)",
-    )
+    add_common_run_args(overhead, trials_default=3)
     overhead.set_defaults(func=cmd_overhead)
 
     experiments = subparsers.add_parser(

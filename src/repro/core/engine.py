@@ -35,7 +35,8 @@ results — which the equivalence suite enforces.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.channels.base import Channel
 from repro.core.protocol import Protocol
@@ -43,6 +44,9 @@ from repro.core.result import ExecutionResult
 from repro.core.transcript import Transcript
 from repro.errors import ProtocolDesyncError, ProtocolError
 from repro.util.bits import validate_bit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 __all__ = ["run_protocol"]
 
@@ -64,6 +68,7 @@ def run_protocol(
     shared_seed: int | None = None,
     record_sent: bool = True,
     max_rounds: int = _DEFAULT_MAX_ROUNDS,
+    observe: "Observer | None" = None,
 ) -> ExecutionResult:
     """Execute ``protocol`` on ``inputs`` over ``channel``.
 
@@ -78,6 +83,12 @@ def run_protocol(
             off for long benchmark runs to save memory (the transcript
             then stores three bytes per round, independent of n).
         max_rounds: Hard cap on the number of rounds.
+        observe: Optional :class:`~repro.observe.Observer`; when enabled,
+            a ``protocol_run`` summary event and one ``noise_flip`` event
+            per noisy round are emitted after the execution.  The events
+            are derived from the transcript and the stats delta — the hot
+            loop is untouched, no RNG draws are consumed, and the
+            execution is bitwise identical to an untraced one.
 
     Returns:
         An :class:`~repro.core.result.ExecutionResult`.
@@ -86,6 +97,8 @@ def run_protocol(
         ProtocolDesyncError: Parties disagreed on when to stop.
         ProtocolError: The protocol exceeded ``max_rounds``.
     """
+    tracing = observe is not None and observe.enabled
+    started = perf_counter() if tracing else 0.0
     parties = protocol.create_parties(inputs, shared_seed=shared_seed)
     n_parties = len(parties)
     programs = [party.run() for party in parties]
@@ -191,13 +204,51 @@ def run_protocol(
 
     stats_after = channel.stats.snapshot()
     delta = _stats_delta(stats_before, stats_after)
-    return ExecutionResult(
+    result = ExecutionResult(
         outputs=outputs,
         transcript=transcript,
         rounds=rounds,
         channel_stats=delta,
         beeps_per_party=tuple(beeps_per_party),
     )
+    if tracing:
+        _emit_run_events(observe, protocol, result, perf_counter() - started)
+    return result
+
+
+def _emit_run_events(observe, protocol, result, elapsed: float) -> None:
+    """Post-run engine events: one summary plus one event per noise hit.
+
+    Everything here is read back out of the columnar transcript and the
+    stats delta, so tracing adds zero work to the per-round loop.
+    """
+    stats = result.channel_stats
+    observe.emit(
+        "protocol_run",
+        protocol=type(protocol).__name__,
+        n_parties=result.transcript.n_parties,
+        rounds=result.rounds,
+        beeps_sent=stats.beeps_sent,
+        or_ones=stats.or_ones,
+        flips_up=stats.flips_up,
+        flips_down=stats.flips_down,
+        total_energy=result.total_energy,
+        elapsed_s=elapsed,
+    )
+    transcript = result.transcript
+    if transcript.noisy_count:
+        or_values = transcript.or_values()
+        for position in transcript.noise_positions():
+            or_value = or_values[position]
+            # Shared-view convention: the flip direction relative to the
+            # round's true OR (independent noise may flip individual
+            # parties both ways; the per-party split is in the stats).
+            observe.emit(
+                "noise_flip",
+                round=position,
+                or_value=or_value,
+                direction="down" if or_value else "up",
+            )
 
 
 def _stats_delta(before, after):

@@ -1,0 +1,93 @@
+"""The observer: the one object instrumented code talks to.
+
+An :class:`Observer` fans trace events out to its sinks; a
+:class:`NullObserver` (the module-level :data:`NO_OBSERVER` singleton)
+swallows them.  Instrumented code never branches on sink types — it holds
+an observer (or ``None``) and calls :meth:`Observer.emit`.
+
+The zero-overhead contract: every instrumented hot path takes
+``observe=None`` and guards its *entire* instrumentation — including any
+``perf_counter`` call — behind one ``observe is not None and
+observe.enabled`` test, evaluated once per execution (never per round).
+Instrumentation reads state the execution computes anyway (transcript
+columns, channel-stats deltas, simulator reports) and **never consumes
+RNG draws**, so traced and untraced runs are bitwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.observe.sinks import Sink
+
+__all__ = ["Observer", "NullObserver", "NO_OBSERVER"]
+
+
+class Observer:
+    """Dispatches trace events to a list of sinks.
+
+    Args:
+        sinks: The sinks to feed.  The observer owns their lifecycle:
+            :meth:`close` closes every sink (idempotently), and the
+            observer works as a context manager.
+
+    Events are plain dicts with an ``"event"`` key naming the event type
+    (see :mod:`repro.observe` for the schema) plus event-specific fields.
+    Emission order is deterministic for a fixed seed; wall-clock fields
+    (``elapsed_s`` and friends) are the only run-to-run variant values.
+    """
+
+    __slots__ = ("sinks", "enabled")
+
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+        self.sinks = list(sinks)
+        #: Master switch; ``False`` turns :meth:`emit` into a no-op so an
+        #: observer can be threaded through an API surface but muted.
+        self.enabled = True
+
+    def emit(self, event: str, /, **fields: Any) -> None:
+        """Send one event to every sink."""
+        if not self.enabled:
+            return
+        record = {"event": event, **fields}
+        for sink in self.sinks:
+            sink.handle(record)
+
+    def close(self) -> None:
+        """Close every sink (flush files, print summaries)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Observer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(sinks={self.sinks!r})"
+
+
+class NullObserver(Observer):
+    """An observer that records nothing — the disabled path.
+
+    ``enabled`` is pinned ``False`` so instrumentation guarded by
+    ``observe.enabled`` short-circuits; :meth:`emit` is additionally a
+    hard no-op in case a call site skips the guard.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(())
+        self.enabled = False
+
+    def emit(self, event: str, /, **fields: Any) -> None:
+        pass
+
+
+#: Shared do-nothing observer.  APIs accept ``observe=None`` as the
+#: disabled default; this singleton exists for call sites that want a
+#: non-None observer object unconditionally.
+NO_OBSERVER = NullObserver()

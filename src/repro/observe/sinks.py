@@ -1,0 +1,191 @@
+"""Trace-event sinks: where emitted events go.
+
+Three concrete sinks cover the standard workflows:
+
+* :class:`MetricsCollector` — in-memory: keeps the full event list plus
+  running counters, for programmatic inspection and tests;
+* :class:`JsonlSink` — one JSON object per line, the on-disk interchange
+  format (``python -m repro trace --output events.jsonl``);
+* :class:`SummarySink` — aggregates like the collector and renders a
+  per-event-type summary table to a stream on :meth:`~Sink.close`.
+
+Sinks receive plain dicts and must not mutate them (they may be shared by
+several sinks).  Aggregation convention shared by the collector and the
+summary sink: every event type gets an occurrence count, and every
+``int``/``float`` field is summed under ``"<event>.<field>"`` — so e.g.
+``counters["chunk_attempt.committed"]`` is the number of committed chunks
+and ``counters["protocol_run.flips_up"]`` the total 0→1 noise hits.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import Any, IO, Iterable, Mapping
+
+__all__ = [
+    "Sink",
+    "MetricsCollector",
+    "JsonlSink",
+    "SummarySink",
+    "read_jsonl",
+]
+
+
+class Sink(ABC):
+    """One destination for trace events."""
+
+    @abstractmethod
+    def handle(self, record: Mapping[str, Any]) -> None:
+        """Consume one event record (a dict with an ``"event"`` key)."""
+
+    def close(self) -> None:
+        """Flush and release resources.  Idempotent; default no-op."""
+
+
+def _accumulate(
+    counters: dict[str, float], record: Mapping[str, Any]
+) -> None:
+    """The shared aggregation rule (see the module docstring)."""
+    event = record["event"]
+    counters[event] = counters.get(event, 0) + 1
+    for key, value in record.items():
+        if key == "event":
+            continue
+        # bool is an int subclass on purpose: flag fields become counts.
+        if isinstance(value, (int, float)):
+            name = f"{event}.{key}"
+            counters[name] = counters.get(name, 0) + value
+
+
+class MetricsCollector(Sink):
+    """In-memory sink: full event list + aggregate counters.
+
+    Attributes:
+        events: Every record received, in emission order.
+        counters: Occurrence counts per event type and summed numeric
+            fields under ``"<event>.<field>"``.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.counters: dict[str, float] = {}
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        self.events.append(dict(record))
+        _accumulate(self.counters, record)
+
+    def count(self, event: str) -> int:
+        """How many events of this type were received."""
+        return int(self.counters.get(event, 0))
+
+    def total(self, event: str, field: str) -> float:
+        """Sum of ``field`` over all events of this type (0.0 if none)."""
+        return float(self.counters.get(f"{event}.{field}", 0.0))
+
+    def events_of(self, event: str) -> list[dict[str, Any]]:
+        """The records of one event type, in emission order."""
+        return [
+            record for record in self.events if record["event"] == event
+        ]
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.events.clear()
+        self.counters.clear()
+
+
+class JsonlSink(Sink):
+    """Write one JSON object per event to a file or stream.
+
+    Args:
+        target: A path (opened lazily on the first event, closed by
+            :meth:`close`) or an already-open text stream (left open —
+            the caller owns it).
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] | None = target  # type: ignore[assignment]
+            self._path = None
+        else:
+            self._stream = None
+            self._path = str(target)
+        self._owns_stream = self._path is not None
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = open(self._path, "w", encoding="utf-8")
+        self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+
+    def close(self) -> None:
+        if self._stream is not None:
+            if self._owns_stream:
+                self._stream.close()
+                self._stream = None
+            else:
+                self._stream.flush()
+
+
+def read_jsonl(lines: Iterable[str]) -> list[dict[str, Any]]:
+    """Parse JSONL content back into event records (blank lines skipped).
+
+    The inverse of :class:`JsonlSink` — ``read_jsonl(open(path))`` gives
+    back exactly the records that were emitted, so a file written in one
+    process can be replayed into a :class:`MetricsCollector` in another.
+    """
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+class SummarySink(Sink):
+    """Aggregate events and print a compact summary on close.
+
+    Args:
+        stream: Where to print; ``None`` means ``sys.stdout`` resolved at
+            close time (so pytest capture and late redirection work).
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+        self.counters: dict[str, float] = {}
+        self._closed = False
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        _accumulate(self.counters, record)
+
+    def render(self) -> str:
+        """The summary as text (what :meth:`close` prints)."""
+        events = sorted(
+            name for name in self.counters if "." not in name
+        )
+        if not events:
+            return "no events observed"
+        lines = ["observed events:"]
+        for event in events:
+            lines.append(f"  {event:<18} x{int(self.counters[event])}")
+            fields = sorted(
+                name
+                for name in self.counters
+                if name.startswith(event + ".")
+            )
+            for name in fields:
+                value = self.counters[name]
+                rendered = (
+                    f"{value:g}" if value == int(value) else f"{value:.4f}"
+                )
+                lines.append(
+                    f"    {name.split('.', 1)[1]:<20} {rendered}"
+                )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        stream = self._stream
+        if stream is None:
+            import sys
+
+            stream = sys.stdout
+        print(self.render(), file=stream)

@@ -13,7 +13,10 @@ exactly the calls the closures made, so results are bitwise identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.core.engine import run_protocol
@@ -112,13 +115,17 @@ class ProtocolExecutor:
     record_sent: bool = True
 
     def __call__(
-        self, inputs: Sequence[Any], trial_seed: int
+        self,
+        inputs: Sequence[Any],
+        trial_seed: int,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         return run_protocol(
             self.task.noiseless_protocol(),
             inputs,
             self.channel.make(trial_seed),
             record_sent=self.record_sent,
+            observe=observe,
         )
 
 
@@ -131,10 +138,14 @@ class SimulationExecutor:
     simulator: SimulatorSpec
 
     def __call__(
-        self, inputs: Sequence[Any], trial_seed: int
+        self,
+        inputs: Sequence[Any],
+        trial_seed: int,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         return self.simulator.make().simulate(
             self.task.noiseless_protocol(),
             inputs,
             self.channel.make(trial_seed),
+            observe=observe,
         )

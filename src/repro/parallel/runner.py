@@ -30,7 +30,10 @@ import pickle
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.stats import ChannelStats
 from repro.core.result import ExecutionResult
@@ -176,13 +179,69 @@ def _run_chunk(
 
 
 def _serial_records(
-    task: Task, executor: Executor, trials: int, seed: int
-) -> tuple[list[TrialRecord], float]:
+    task: Task,
+    executor: Executor,
+    trials: int,
+    seed: int,
+    collect_times: bool = False,
+) -> tuple[list[TrialRecord], float, list[float] | None]:
     start = time.perf_counter()
-    records = [
-        run_trial(task, executor, seed, index) for index in range(trials)
-    ]
-    return records, time.perf_counter() - start
+    if collect_times:
+        times: list[float] | None = []
+        records = []
+        last = start
+        for index in range(trials):
+            records.append(run_trial(task, executor, seed, index))
+            now = time.perf_counter()
+            times.append(now - last)
+            last = now
+    else:
+        times = None
+        records = [
+            run_trial(task, executor, seed, index)
+            for index in range(trials)
+        ]
+    return records, time.perf_counter() - start, times
+
+
+def _emit_batch_events(
+    observe: "Observer",
+    batch: TrialBatch,
+    trial_times: list[float] | None = None,
+) -> None:
+    """Runner trace events: one ``trial`` per record plus the
+    ``sweep_batch`` summary with merged cross-process counters.
+
+    Emitted in the parent after the batch completes, from the returned
+    records — which the determinism contract makes identical across
+    backends — so traced and untraced sweeps agree bitwise.
+    """
+    for record in batch.records:
+        fields: dict[str, Any] = {
+            "index": record.index,
+            "success": record.success,
+            "rounds": record.rounds,
+            "flips": record.flips,
+            "total_energy": record.total_energy,
+        }
+        if trial_times is not None:
+            fields["elapsed_s"] = trial_times[record.index]
+        observe.emit("trial", **fields)
+    totals = batch.aggregate_channel_stats()
+    timing = batch.timing
+    observe.emit(
+        "sweep_batch",
+        trials=len(batch.records),
+        workers=int(timing["workers"]),
+        utilization=timing["utilization"],
+        elapsed_s=timing["elapsed_s"],
+        parallel=bool(timing["parallel"]),
+        fallback=bool(timing["fallback"]),
+        channel_rounds=totals.rounds,
+        beeps_sent=totals.beeps_sent,
+        flips_up=totals.flips_up,
+        flips_down=totals.flips_down,
+    )
 
 
 def _timing(
@@ -219,9 +278,22 @@ class TrialRunner(ABC):
 
     @abstractmethod
     def run_trials(
-        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
     ) -> TrialBatch:
-        """Run ``trials`` independent trials; records in index order."""
+        """Run ``trials`` independent trials; records in index order.
+
+        ``observe`` (optional :class:`~repro.observe.Observer`) receives
+        one ``trial`` event per record and a ``sweep_batch`` summary
+        (plus ``worker_chunk`` events on the process-pool backend).
+        Events are emitted in the parent process from the returned
+        records, so tracing never changes the records themselves.
+        """
 
     def close(self) -> None:
         """Release held resources (pools).  Idempotent."""
@@ -242,11 +314,20 @@ class SerialRunner(TrialRunner):
         return 1
 
     def run_trials(
-        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
     ) -> TrialBatch:
         _validate_trials(trials)
-        records, elapsed = _serial_records(task, executor, trials, seed)
-        return TrialBatch(
+        tracing = observe is not None and observe.enabled
+        records, elapsed, times = _serial_records(
+            task, executor, trials, seed, collect_times=tracing
+        )
+        batch = TrialBatch(
             records=records,
             timing=_timing(
                 elapsed=elapsed,
@@ -258,6 +339,9 @@ class SerialRunner(TrialRunner):
                 fallback=False,
             ),
         )
+        if tracing:
+            _emit_batch_events(observe, batch, trial_times=times)
+        return batch
 
 
 class ProcessPoolRunner(TrialRunner):
@@ -345,10 +429,14 @@ class ProcessPoolRunner(TrialRunner):
         trials: int,
         seed: int,
         reason: str | None,
+        observe: "Observer | None" = None,
     ) -> TrialBatch:
         self.last_fallback_reason = reason
-        records, elapsed = _serial_records(task, executor, trials, seed)
-        return TrialBatch(
+        tracing = observe is not None and observe.enabled
+        records, elapsed, times = _serial_records(
+            task, executor, trials, seed, collect_times=tracing
+        )
+        batch = TrialBatch(
             records=records,
             timing=_timing(
                 elapsed=elapsed,
@@ -361,23 +449,44 @@ class ProcessPoolRunner(TrialRunner):
                 fallback=reason is not None,
             ),
         )
+        if tracing:
+            _emit_batch_events(observe, batch, trial_times=times)
+        return batch
 
     def run_trials(
-        self, task: Task, executor: Executor, trials: int, *, seed: int = 0
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
     ) -> TrialBatch:
         _validate_trials(trials)
         if self._workers == 1:
-            return self._serial_fallback(task, executor, trials, seed, None)
+            return self._serial_fallback(
+                task, executor, trials, seed, None, observe
+            )
         try:
             pickle.dumps((task, executor))
         except Exception:
             return self._serial_fallback(
-                task, executor, trials, seed, "unpicklable task/executor"
+                task,
+                executor,
+                trials,
+                seed,
+                "unpicklable task/executor",
+                observe,
             )
         pool = self._ensure_pool()
         if pool is None:
             return self._serial_fallback(
-                task, executor, trials, seed, "process pool failed to start"
+                task,
+                executor,
+                trials,
+                seed,
+                "process pool failed to start",
+                observe,
             )
         chunks = self._chunk_indices(trials)
         start = time.perf_counter()
@@ -393,7 +502,12 @@ class ProcessPoolRunner(TrialRunner):
             self.close()
             self._pool_failed = True
             return self._serial_fallback(
-                task, executor, trials, seed, "process pool broke mid-batch"
+                task,
+                executor,
+                trials,
+                seed,
+                "process pool broke mid-batch",
+                observe,
             )
         elapsed = time.perf_counter() - start
         self.last_fallback_reason = None
@@ -402,7 +516,7 @@ class ProcessPoolRunner(TrialRunner):
         ]
         records.sort(key=lambda record: record.index)
         busy = sum(busy_time for _, busy_time in outcomes)
-        return TrialBatch(
+        batch = TrialBatch(
             records=records,
             timing=_timing(
                 elapsed=elapsed,
@@ -414,6 +528,18 @@ class ProcessPoolRunner(TrialRunner):
                 fallback=False,
             ),
         )
+        if observe is not None and observe.enabled:
+            for chunk_no, (chunk, (_, busy_time)) in enumerate(
+                zip(chunks, outcomes)
+            ):
+                observe.emit(
+                    "worker_chunk",
+                    chunk=chunk_no,
+                    trials=len(chunk),
+                    busy_s=busy_time,
+                )
+            _emit_batch_events(observe, batch)
+        return batch
 
     def close(self) -> None:
         if self._pool is not None:

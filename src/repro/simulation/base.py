@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.channels.burst import BurstNoiseChannel
@@ -166,6 +169,27 @@ class Simulator(ABC):
         return infer_noise_model(channel)
 
     @staticmethod
+    def _tracing(observe: "Observer | None") -> bool:
+        """Whether to collect trace detail for this ``simulate`` call."""
+        return observe is not None and observe.enabled
+
+    def _emit_simulation(
+        self, observe: "Observer", report: "SimulationReport"
+    ) -> None:
+        """The per-``simulate`` summary event, shared by every scheme."""
+        observe.emit(
+            "simulation",
+            scheme=report.scheme,
+            inner_length=report.inner_length,
+            simulated_rounds=report.simulated_rounds,
+            overhead=report.overhead,
+            completed=report.completed,
+            chunk_attempts=report.chunk_attempts,
+            chunk_commits=report.chunk_commits,
+            rewinds=report.rewinds,
+        )
+
+    @staticmethod
     def _require_fixed_length(protocol: Protocol) -> int:
         length = protocol.length()
         if length is None:
@@ -183,10 +207,18 @@ class Simulator(ABC):
         channel: Channel,
         *,
         shared_seed: int | None = None,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         """Run ``protocol`` on ``inputs`` over the noisy ``channel``.
 
         Returns an :class:`ExecutionResult` whose ``outputs`` aim to equal
         the noiseless execution's outputs, and whose
         ``metadata['report']`` is a :class:`SimulationReport`.
+
+        ``observe`` (optional :class:`~repro.observe.Observer`) receives
+        the scheme's trace events — ``simulation`` always, plus
+        scheme-specific detail (``chunk_attempt`` / ``owners_phase`` /
+        ``progress_check`` / ``rewind``) — and is forwarded to the engine
+        for its ``protocol_run`` / ``noise_flip`` events.  Tracing
+        consumes no RNG draws; traced runs are bitwise identical.
         """

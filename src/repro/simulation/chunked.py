@@ -39,7 +39,10 @@ extends this to arbitrary lengths, is discussed in DESIGN.md.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.coding.ml import MLDecoder
@@ -75,6 +78,7 @@ class _ChunkParty(Party):
         code,
         decoder: MLDecoder,
         report: SimulationReport,
+        trace: list | None = None,
     ) -> None:
         self.party_index = party_index
         self.n_parties = n_parties
@@ -87,12 +91,17 @@ class _ChunkParty(Party):
         self.code = code
         self.decoder = decoder
         self.report = report
+        # Per-attempt trace log (party 0 only, observability opt-in).
+        # Appending is pure bookkeeping over already-shared state — it
+        # consumes no RNG draws and never alters the round structure.
+        self.trace = trace
 
     def run(self):
         committed: list[int] = []  # shared committed received prefix
         attempts = 0
         while len(committed) < self.inner_length and attempts < self.max_attempts:
             attempts += 1
+            committed_before = len(committed)
             chunk_rounds = min(
                 self.chunk_length, self.inner_length - len(committed)
             )
@@ -121,6 +130,31 @@ class _ChunkParty(Party):
                     self.report.chunk_commits += 1
             if self.party_index == 0:
                 self.report.chunk_attempts = attempts
+                if self.trace is not None:
+                    owners = chunk.owners
+                    unowned = sum(
+                        1
+                        for position, value in enumerate(chunk.pi)
+                        if value and position not in owners.owners
+                    )
+                    self.trace.append(
+                        {
+                            "attempt": attempts,
+                            "committed_rounds": committed_before,
+                            "chunk_rounds": chunk_rounds,
+                            "sim_rounds": chunk_rounds * self.repetitions,
+                            "owner_iterations": owners.iterations,
+                            "owner_rounds": owners.iterations
+                            * self.code.codeword_length,
+                            "verify_rounds": self.verification_repetitions,
+                            "ones": sum(chunk.pi),
+                            "owners_assigned": len(owners.owners),
+                            "unowned_ones": unowned,
+                            "flag": flag,
+                            "verdict": verdict,
+                            "committed": verdict == 0,
+                        }
+                    )
 
         if self.party_index == 0:
             self.report.completed = len(committed) == self.inner_length
@@ -151,6 +185,7 @@ class _ChunkProtocol(Protocol):
         code,
         decoder: MLDecoder,
         report: SimulationReport,
+        trace: list | None = None,
     ) -> None:
         super().__init__(inner.n_parties)
         self.inner = inner
@@ -162,6 +197,7 @@ class _ChunkProtocol(Protocol):
         self.code = code
         self.decoder = decoder
         self.report = report
+        self.trace = trace
 
     def create_parties(
         self, inputs: Sequence[Any], shared_seed: int | None = None
@@ -190,6 +226,7 @@ class _ChunkProtocol(Protocol):
                 code=self.code,
                 decoder=self.decoder,
                 report=self.report,
+                trace=self.trace,
             )
             for index in range(self.n_parties)
         ]
@@ -209,6 +246,7 @@ class ChunkCommitSimulator(Simulator):
         channel: Channel,
         *,
         shared_seed: int | None = None,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         if not channel.correlated:
             raise ConfigurationError(
@@ -249,6 +287,7 @@ class ChunkCommitSimulator(Simulator):
                 "codeword_length": code.codeword_length,
             },
         )
+        trace: list | None = [] if self._tracing(observe) else None
         wrapped = _ChunkProtocol(
             inner=protocol,
             inner_length=inner_length,
@@ -259,6 +298,7 @@ class ChunkCommitSimulator(Simulator):
             code=code,
             decoder=decoder,
             report=report,
+            trace=trace,
         )
         # record_sent=False: the simulation transcript is Θ(n log n) rounds
         # and the scheme never reads its own sent bits, so the columnar
@@ -269,8 +309,40 @@ class ChunkCommitSimulator(Simulator):
             channel,
             shared_seed=shared_seed,
             record_sent=False,
+            observe=observe,
         )
         report.simulated_rounds = result.rounds
         result.metadata["report"] = report
+        if trace is not None:
+            self._emit_chunk_events(observe, trace)
+            self._emit_simulation(observe, report)
         self._enforce_completion(report)
         return result
+
+    @staticmethod
+    def _emit_chunk_events(observe: "Observer", trace: list) -> None:
+        """Replay party 0's attempt log as ``chunk_attempt`` +
+        ``owners_phase`` event pairs."""
+        for entry in trace:
+            observe.emit(
+                "chunk_attempt",
+                attempt=entry["attempt"],
+                committed_rounds=entry["committed_rounds"],
+                chunk_rounds=entry["chunk_rounds"],
+                sim_rounds=entry["sim_rounds"],
+                owner_rounds=entry["owner_rounds"],
+                verify_rounds=entry["verify_rounds"],
+                flag=entry["flag"],
+                verdict=entry["verdict"],
+                committed=entry["committed"],
+            )
+            observe.emit(
+                "owners_phase",
+                attempt=entry["attempt"],
+                iterations=entry["owner_iterations"],
+                owner_rounds=entry["owner_rounds"],
+                ones=entry["ones"],
+                owners_assigned=entry["owners_assigned"],
+                unowned_ones=entry["unowned_ones"],
+                disagreement=bool(entry["flag"]),
+            )

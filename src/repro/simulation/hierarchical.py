@@ -33,7 +33,10 @@ preserved).
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.coding.ml import MLDecoder
@@ -71,6 +74,7 @@ class _HierarchicalParty(Party):
         code,
         decoder: MLDecoder,
         report: SimulationReport,
+        trace: list | None = None,
     ) -> None:
         self.party_index = party_index
         self.n_parties = n_parties
@@ -84,6 +88,9 @@ class _HierarchicalParty(Party):
         self.code = code
         self.decoder = decoder
         self.report = report
+        # Trace log (party 0 only; pure bookkeeping over shared state,
+        # consumes no RNG draws — see repro.observe).
+        self.trace = trace
         # Working state (chunks[i].pi / .owners are shared-consistent).
         self.chunks: list[SimulatedChunk] = []
         self._leaf_calls = 0
@@ -133,6 +140,29 @@ class _HierarchicalParty(Party):
             self.decoder,
         )
         self.chunks.append(chunk)
+        if self.trace is not None and self.party_index == 0:
+            owners = chunk.owners
+            unowned = sum(
+                1
+                for position, value in enumerate(chunk.pi)
+                if value and position not in owners.owners
+            )
+            self.trace.append(
+                {
+                    "kind": "leaf",
+                    "attempt": self._leaf_calls,
+                    "committed_rounds": done,
+                    "chunk_rounds": chunk_rounds,
+                    "sim_rounds": chunk_rounds * self.repetitions,
+                    "owner_iterations": owners.iterations,
+                    "owner_rounds": owners.iterations
+                    * self.code.codeword_length,
+                    "ones": sum(chunk.pi),
+                    "owners_assigned": len(owners.owners),
+                    "unowned_ones": unowned,
+                    "flag": chunk.party_flag(self.party_index),
+                }
+            )
 
     def _progress_check(self, level: int):
         """Binary-search the longest consistent working prefix; truncate.
@@ -145,6 +175,7 @@ class _HierarchicalParty(Party):
         votes = self.verification_repetitions + (
             self.level_repetition_step * level
         )
+        chunks_before = len(self.chunks)
         low, high = 0, len(self.chunks)
         while low < high:
             mid = (low + high + 1) // 2
@@ -157,6 +188,17 @@ class _HierarchicalParty(Party):
         if low < len(self.chunks):
             self._truncated_chunks += len(self.chunks) - low
             del self.chunks[low:]
+        if self.trace is not None and self.party_index == 0:
+            self.trace.append(
+                {
+                    "kind": "check",
+                    "level": level,
+                    "votes": votes,
+                    "chunks_before": chunks_before,
+                    "chunks_after": len(self.chunks),
+                    "truncated": chunks_before - len(self.chunks),
+                }
+            )
 
     def _run_level(self, level: int):
         if level == 0:
@@ -267,6 +309,7 @@ class HierarchicalSimulator(Simulator):
         channel: Channel,
         *,
         shared_seed: int | None = None,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         if not channel.correlated:
             raise ConfigurationError(
@@ -304,6 +347,7 @@ class HierarchicalSimulator(Simulator):
                 "codeword_length": code.codeword_length,
             },
         )
+        trace: list | None = [] if self._tracing(observe) else None
         wrapped = _HierarchicalProtocol(
             {
                 "inner": protocol,
@@ -316,6 +360,7 @@ class HierarchicalSimulator(Simulator):
                 "code": code,
                 "decoder": decoder,
                 "report": report,
+                "trace": trace,
             },
             n_parties=n_parties,
         )
@@ -325,8 +370,47 @@ class HierarchicalSimulator(Simulator):
             channel,
             shared_seed=shared_seed,
             record_sent=False,
+            observe=observe,
         )
         report.simulated_rounds = result.rounds
         result.metadata["report"] = report
+        if trace is not None:
+            self._emit_hierarchy_events(observe, trace)
+            self._emit_simulation(observe, report)
         self._enforce_completion(report)
         return result
+
+    @staticmethod
+    def _emit_hierarchy_events(observe: "Observer", trace: list) -> None:
+        """Replay party 0's log: non-idle leaves as ``chunk_attempt`` +
+        ``owners_phase`` (no verdict — verification arrives later via a
+        progress check), checks as ``progress_check``."""
+        for entry in trace:
+            if entry["kind"] == "leaf":
+                observe.emit(
+                    "chunk_attempt",
+                    attempt=entry["attempt"],
+                    committed_rounds=entry["committed_rounds"],
+                    chunk_rounds=entry["chunk_rounds"],
+                    sim_rounds=entry["sim_rounds"],
+                    owner_rounds=entry["owner_rounds"],
+                )
+                observe.emit(
+                    "owners_phase",
+                    attempt=entry["attempt"],
+                    iterations=entry["owner_iterations"],
+                    owner_rounds=entry["owner_rounds"],
+                    ones=entry["ones"],
+                    owners_assigned=entry["owners_assigned"],
+                    unowned_ones=entry["unowned_ones"],
+                    disagreement=bool(entry["flag"]),
+                )
+            else:
+                observe.emit(
+                    "progress_check",
+                    level=entry["level"],
+                    votes=entry["votes"],
+                    chunks_before=entry["chunks_before"],
+                    chunks_after=entry["chunks_after"],
+                    truncated=entry["truncated"],
+                )

@@ -14,7 +14,10 @@ is the workhorse of experiment E7's noise-model comparison.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.core.engine import run_protocol
@@ -95,6 +98,7 @@ class RepetitionSimulator(Simulator):
         channel: Channel,
         *,
         shared_seed: int | None = None,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         inner_length = self._require_fixed_length(protocol)
         noise = self._resolve_noise_model(channel)
@@ -110,12 +114,16 @@ class RepetitionSimulator(Simulator):
             channel,
             shared_seed=shared_seed,
             record_sent=False,
+            observe=observe,
         )
-        result.metadata["report"] = SimulationReport(
+        report = SimulationReport(
             scheme=type(self).__name__,
             inner_length=inner_length,
             simulated_rounds=result.rounds,
             completed=True,
             extra={"repetitions": repetitions},
         )
+        result.metadata["report"] = report
+        if self._tracing(observe):
+            self._emit_simulation(observe, report)
         return result

@@ -41,7 +41,10 @@ head-to-head to exhibit the paper's asymmetry.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
 
 from repro.channels.base import Channel
 from repro.core.engine import run_protocol
@@ -64,12 +67,16 @@ class _RewindParty(Party):
         inner_length: int,
         iterations: int,
         report: SimulationReport,
+        trace: list | None = None,
     ) -> None:
         self.party_index = party_index
         self.make_inner = make_inner
         self.inner_length = inner_length
         self.iterations = iterations
         self.report = report
+        # Per-pop trace log (party 0 only; pure bookkeeping over shared
+        # state, consumes no RNG draws — see repro.observe).
+        self.trace = trace
 
     def _replay(self, working: Sequence[int]):
         """A fresh inner coroutine advanced past ``working``.
@@ -102,7 +109,7 @@ class _RewindParty(Party):
         program, next_bit = self._replay(working)
         stale = False
 
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             if stale:
                 program, next_bit = self._replay(working)
                 stale = False
@@ -122,6 +129,10 @@ class _RewindParty(Party):
                     disputed.discard(popped)
                     rewinds += 1
                     stale = True
+                    if self.trace is not None and self.party_index == 0:
+                        self.trace.append(
+                            {"iteration": iteration, "position": popped}
+                        )
                 # Keep the iteration at a fixed two rounds: a silent dummy
                 # round replaces the simulation round after a rewind.
                 yield 0
@@ -171,12 +182,14 @@ class _RewindProtocol(Protocol):
         inner_length: int,
         iterations: int,
         report: SimulationReport,
+        trace: list | None = None,
     ) -> None:
         super().__init__(inner.n_parties)
         self.inner = inner
         self.inner_length = inner_length
         self.iterations = iterations
         self.report = report
+        self.trace = trace
 
     def length(self) -> int:
         return 2 * self.iterations
@@ -202,6 +215,7 @@ class _RewindProtocol(Protocol):
                 inner_length=self.inner_length,
                 iterations=self.iterations,
                 report=self.report,
+                trace=self.trace,
             )
             for index in range(self.n_parties)
         ]
@@ -227,6 +241,7 @@ class RewindSimulator(Simulator):
         channel: Channel,
         *,
         shared_seed: int | None = None,
+        observe: "Observer | None" = None,
     ) -> ExecutionResult:
         if not channel.correlated:
             raise ConfigurationError(
@@ -243,11 +258,13 @@ class RewindSimulator(Simulator):
             inner_length=inner_length,
             extra={"iterations": iterations},
         )
+        trace: list | None = [] if self._tracing(observe) else None
         wrapped = _RewindProtocol(
             inner=protocol,
             inner_length=inner_length,
             iterations=iterations,
             report=report,
+            trace=trace,
         )
         # record_sent=False: with the columnar transcript this costs three
         # bytes per simulated round, independent of the party count.
@@ -257,8 +274,17 @@ class RewindSimulator(Simulator):
             channel,
             shared_seed=shared_seed,
             record_sent=False,
+            observe=observe,
         )
         report.simulated_rounds = result.rounds
         result.metadata["report"] = report
+        if trace is not None:
+            for entry in trace:
+                observe.emit(
+                    "rewind",
+                    iteration=entry["iteration"],
+                    position=entry["position"],
+                )
+            self._emit_simulation(observe, report)
         self._enforce_completion(report)
         return result
