@@ -16,6 +16,15 @@ additionally fails (exit 1) if the fast path's rounds/s drops more than
 ``--tolerance`` (default 5%) below the reference — CI's benchmark-smoke
 job compares against the committed reference to catch instrumentation
 overhead leaking into the observability-disabled path.
+
+``--simulation`` switches to the end-to-end simulation benchmark:
+trials/second of the chunk-commit and rewind simulators at
+n ∈ {8, 32, 128}, batch tokens on (the sparse scheduler) versus off
+(the pre-token dense path, reached via
+:func:`repro.simulation.primitives.batch_tokens`), written to
+``benchmarks/results/BENCH_simulation.json``.  The dense rate is the
+drift anchor and the token rate the guarded quantity, with the same
+``--compare``/``--tolerance`` regression floor as the engine benchmark.
 """
 
 from __future__ import annotations
@@ -28,7 +37,11 @@ import time
 from pathlib import Path
 
 from repro.analysis import estimate_success
-from repro.channels import CorrelatedNoiseChannel, NoiselessChannel
+from repro.channels import (
+    CorrelatedNoiseChannel,
+    NoiselessChannel,
+    SuppressionNoiseChannel,
+)
 from repro.coding import GreedyRandomCode, MLDecoder
 from repro.core import run_protocol
 from repro.core.formal import NoiseModel
@@ -40,7 +53,8 @@ from repro.parallel import (
     SimulatorSpec,
 )
 from repro.tasks import InputSetTask
-from repro.simulation import ChunkCommitSimulator
+from repro.simulation import ChunkCommitSimulator, RewindSimulator
+from repro.simulation.primitives import batch_tokens
 
 N = 16
 
@@ -354,6 +368,242 @@ def check_against_reference(
     return messages
 
 
+# ----------------------------------------------------------------------
+# Standalone end-to-end simulation benchmark (CI benchmark-smoke job)
+# ----------------------------------------------------------------------
+
+SIM_BENCH_PARTIES = (8, 32, 128)
+
+# scheme -> (simulator factory, channel factory).  Chunk-commit over the
+# paper's correlated two-sided noise; rewind over suppression noise (its
+# sound regime: 1 -> 0 flips only).
+_SIM_SCHEMES = {
+    "chunked": (
+        ChunkCommitSimulator,
+        lambda seed: CorrelatedNoiseChannel(0.1, rng=seed),
+    ),
+    "rewind": (
+        RewindSimulator,
+        lambda seed: SuppressionNoiseChannel(0.1, rng=seed),
+    ),
+}
+
+# Trials per configuration are fixed (not reduced by --quick) so every
+# mode times the same per-trial work over the same channel seeds; only
+# then are quick runs comparable to the archival reference.  Counts
+# shrink with n because per-trial cost grows superlinearly — chunked at
+# n=128 runs ~43k rounds per trial on the dense path.
+_SIM_TRIALS = {
+    ("chunked", 8): 20,
+    ("chunked", 32): 5,
+    ("chunked", 128): 2,
+    ("rewind", 8): 50,
+    ("rewind", 32): 20,
+    ("rewind", 128): 5,
+}
+
+# Trials/second of the tree *before* the sparse batch-token engine and
+# the inlined ML-decode loop (commit 62d437b), measured once on the
+# machine that produced the committed reference with exactly this
+# script's trial grid, seeds and best-of-2 repeats.  The in-process
+# dense mode is not this baseline — it desugars the tokens but shares
+# the optimized decoder — so the "before" of the before/after speedup
+# is recorded here, frozen.  Meaningful only relative to the committed
+# reference's dense rates (same machine); the regression floor uses the
+# in-process dense anchor instead, which moves with the machine.
+_PRE_PR_TRIALS_PER_SEC = {
+    ("chunked", 8): 161.753,
+    ("chunked", 32): 6.629,
+    ("chunked", 128): 0.205,
+    ("rewind", 8): 1459.653,
+    ("rewind", 32): 103.360,
+    ("rewind", 128): 3.333,
+}
+
+
+def _time_simulation(
+    scheme: str, n: int, tokens: bool, trials: int, repeats: int
+) -> float:
+    """Trials/second of one simulation scheme at one party count.
+
+    A fresh channel per trial (the Monte-Carlo access pattern), best of
+    ``repeats`` measurements after one warmup trial.  ``tokens`` selects
+    between the sparse batch-token scheduler and the desugared per-round
+    dense path — the latter is the pre-token engine, so it doubles as
+    the machine-drift anchor for the regression floor.
+    """
+    make_simulator, make_channel = _SIM_SCHEMES[scheme]
+    task = InputSetTask(n)
+    inputs = task.sample_inputs(random.Random(n))
+    protocol = task.noiseless_protocol()
+    simulator = make_simulator()
+    with batch_tokens(tokens):
+        simulator.simulate(
+            protocol, inputs, make_channel(10_000), shared_seed=10_000
+        )
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for trial in range(trials):
+                simulator.simulate(
+                    protocol,
+                    inputs,
+                    make_channel(trial),
+                    shared_seed=trial,
+                )
+            elapsed = time.perf_counter() - start
+            best = max(best, trials / elapsed)
+    return best
+
+
+def run_simulation_benchmark(quick: bool = False) -> dict:
+    """Token vs dense simulation throughput; returns the results payload."""
+    # Quick mode only drops n=128; trials and best-of-2 repeats stay the
+    # full-mode values, so the configs it does run are measured exactly
+    # like the committed reference's.
+    parties = SIM_BENCH_PARTIES[:2] if quick else SIM_BENCH_PARTIES
+    repeats = 2
+    payload: dict = {
+        "benchmark": "simulation_throughput",
+        "task": "InputSetTask",
+        "channels": {
+            "chunked": "CorrelatedNoiseChannel(0.1)",
+            "rewind": "SuppressionNoiseChannel(0.1)",
+        },
+        "repeats": repeats,
+        "results": [],
+    }
+    for scheme in sorted(_SIM_SCHEMES):
+        for n in parties:
+            trials = _SIM_TRIALS[(scheme, n)]
+            dense_rate = _time_simulation(
+                scheme, n, tokens=False, trials=trials, repeats=repeats
+            )
+            token_rate = _time_simulation(
+                scheme, n, tokens=True, trials=trials, repeats=repeats
+            )
+            entry = {
+                "scheme": scheme,
+                "n_parties": n,
+                "trials": trials,
+                "dense_trials_per_sec": round(dense_rate, 3),
+                "token_trials_per_sec": round(token_rate, 3),
+                "speedup": round(token_rate / dense_rate, 2),
+            }
+            pre_pr = _PRE_PR_TRIALS_PER_SEC.get((scheme, n))
+            if pre_pr is not None:
+                entry["pre_pr_trials_per_sec"] = pre_pr
+                entry["speedup_vs_pre_pr"] = round(token_rate / pre_pr, 2)
+            payload["results"].append(entry)
+            print(
+                f"{scheme:<8} n={n:<4} "
+                f"dense {dense_rate:>9,.2f} trials/s   "
+                f"tokens {token_rate:>9,.2f} trials/s   "
+                f"x{token_rate / dense_rate:.2f}"
+                + (
+                    f"   (x{token_rate / pre_pr:.2f} vs pre-token tree)"
+                    if pre_pr is not None
+                    else ""
+                )
+            )
+    return payload
+
+
+def compare_simulation_to_reference(
+    payload: dict, reference: dict, tolerance: float
+) -> list[dict]:
+    """Regression check of token-mode throughput against a reference run.
+
+    Same shape as :func:`compare_to_reference`, keyed by
+    (scheme, n_parties): the dense per-round path is frozen code measured
+    in the same process, so its drift (measured/reference, clamped to at
+    most 1) scales the floor down when the machine is slow, while a
+    change that slows only the token scheduler leaves the anchor — and
+    therefore the floor — untouched.
+    """
+    by_config = {
+        (entry["scheme"], entry["n_parties"]): entry
+        for entry in reference.get("results", [])
+    }
+    failures: list[dict] = []
+    for entry in payload["results"]:
+        ref = by_config.get((entry["scheme"], entry["n_parties"]))
+        if ref is None:
+            continue
+        measured = entry["token_trials_per_sec"]
+        machine = min(
+            1.0,
+            entry["dense_trials_per_sec"] / ref["dense_trials_per_sec"],
+        )
+        floor = ref["token_trials_per_sec"] * (1.0 - tolerance) * machine
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"compare {entry['scheme']:<8} n={entry['n_parties']:<4} "
+            f"measured {measured:>9,.2f} trials/s   "
+            f"reference {ref['token_trials_per_sec']:>9,.2f} trials/s   "
+            f"floor {floor:>9,.2f}   {verdict}"
+        )
+        if measured < floor:
+            failures.append(entry)
+    return failures
+
+
+def check_simulation_against_reference(
+    payload: dict, reference: dict, tolerance: float, attempts: int = 3
+) -> list[str]:
+    """``compare_simulation_to_reference`` with transient-miss retries.
+
+    Mirrors :func:`check_against_reference`: configurations that miss
+    the floor re-measure the guarded quantity (token mode only) and
+    keep their best-of across attempts, so one background-load dip is
+    not reported while a genuine slowdown still fails every attempt.
+    """
+    repeats = payload["repeats"]
+    for attempt in range(attempts):
+        failures = compare_simulation_to_reference(
+            payload, reference, tolerance
+        )
+        if not failures:
+            return []
+        if attempt == attempts - 1:
+            break
+        print(f"re-measuring {len(failures)} config(s) that missed the floor")
+        for entry in failures:
+            rate = _time_simulation(
+                entry["scheme"],
+                entry["n_parties"],
+                tokens=True,
+                trials=entry["trials"],
+                repeats=repeats,
+            )
+            entry["token_trials_per_sec"] = max(
+                entry["token_trials_per_sec"], round(rate, 3)
+            )
+            entry["speedup"] = round(
+                entry["token_trials_per_sec"]
+                / entry["dense_trials_per_sec"],
+                2,
+            )
+    by_config = {
+        (entry["scheme"], entry["n_parties"]): entry
+        for entry in reference.get("results", [])
+    }
+    messages = []
+    for entry in failures:
+        ref = by_config[(entry["scheme"], entry["n_parties"])]
+        machine = min(
+            1.0,
+            entry["dense_trials_per_sec"] / ref["dense_trials_per_sec"],
+        )
+        messages.append(
+            f"{entry['scheme']} n={entry['n_parties']}: "
+            f"{entry['token_trials_per_sec']:,} trials/s < "
+            f"{ref['token_trials_per_sec'] * (1 - tolerance) * machine:,.2f}"
+            f" trials/s (reference - {tolerance:.0%}, machine x{machine:.2f})"
+        )
+    return messages
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Engine throughput benchmark (fast path vs seed loop)"
@@ -364,11 +614,21 @@ def main() -> int:
         help="fewer trials / shorter protocols (CI smoke mode)",
     )
     parser.add_argument(
-        "--output",
-        default=str(
-            Path(__file__).parent / "results" / "BENCH_engine.json"
+        "--simulation",
+        action="store_true",
+        help=(
+            "benchmark end-to-end simulations (token vs dense scheduling) "
+            "instead of raw engine throughput"
         ),
-        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "where to write the JSON results (default: "
+            "results/BENCH_engine.json, or results/BENCH_simulation.json "
+            "with --simulation)"
+        ),
     )
     parser.add_argument(
         "--compare",
@@ -390,12 +650,23 @@ def main() -> int:
     reference = (
         json.loads(Path(args.compare).read_text()) if args.compare else None
     )
-    payload = run_engine_benchmark(quick=args.quick)
+    if args.simulation:
+        payload = run_simulation_benchmark(quick=args.quick)
+        check = check_simulation_against_reference
+        default_name = "BENCH_simulation.json"
+    else:
+        payload = run_engine_benchmark(quick=args.quick)
+        check = check_against_reference
+        default_name = "BENCH_engine.json"
     failures: list[str] = []
     if reference is not None:
         # Before writing: retries fold their best-of back into the payload.
-        failures = check_against_reference(payload, reference, args.tolerance)
-    output = Path(args.output)
+        failures = check(payload, reference, args.tolerance)
+    output = Path(
+        args.output
+        if args.output
+        else Path(__file__).parent / "results" / default_name
+    )
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")

@@ -42,6 +42,7 @@ from repro.channels import (
     SuppressionNoiseChannel,
 )
 from repro.core import (
+    Burst,
     ExecutionResult,
     SequentialProtocol,
     TruncatedProtocol,
@@ -52,6 +53,7 @@ from repro.core import (
     Party,
     Protocol,
     RoundRecord,
+    Silence,
     Transcript,
     run_protocol,
 )
@@ -152,6 +154,8 @@ __all__ = [
     "ScriptedChannel",
     # core
     "Party",
+    "Burst",
+    "Silence",
     "FunctionalParty",
     "Protocol",
     "FunctionalProtocol",

@@ -160,6 +160,58 @@ class Channel(ABC):
                 stats.flips_up += 1
         return received
 
+    def _deliver_shared_run(self, or_value: int, count: int) -> bytes:
+        """Shared received bits for ``count`` rounds with the same true OR.
+
+        Default: ``count`` sequential :meth:`_deliver_shared` calls, which
+        is draw-order identical to per-round transmission for every
+        channel (including stateful ones — each round's decision happens
+        in order).  Hot channels override this with a block loop over the
+        buffered noise floats.
+        """
+        deliver = self._deliver_shared
+        return bytes(bytearray(deliver(or_value) for _ in range(count)))
+
+    def transmit_shared_run(
+        self, or_value: int, beeps: int, count: int
+    ) -> bytes:
+        """Run-batched :meth:`transmit_shared`: ``count`` rounds in which
+        the sent bits (hence the true OR and beep count) are constant.
+
+        The engine's sparse scheduler calls this when every unfinished
+        party is asleep inside a batch token.  Statistics are recorded
+        exactly as ``count`` individual ``transmit_shared`` calls would
+        record them, and the delivered bits consume the same RNG draws in
+        the same order.
+
+        Args:
+            or_value: True OR of each round in the run.
+            beeps: Number of 1-bits beeped in each round of the run.
+            count: Number of rounds; must be >= 1.
+
+        Returns:
+            The shared received bit of each round, as ``bytes``.
+
+        Raises:
+            ChannelError: When called on a non-correlated channel.
+        """
+        if not self.correlated:
+            raise ChannelError(
+                "transmit_shared_run() requires a correlated channel; use "
+                "transmit() for per-party views"
+            )
+        received = self._deliver_shared_run(or_value, count)
+        stats = self.stats
+        stats.rounds += count
+        stats.beeps_sent += beeps * count
+        stats.or_ones += or_value * count
+        flipped = (count - received.count(1)) if or_value else received.count(1)
+        if or_value:
+            stats.flips_down += flipped
+        else:
+            stats.flips_up += flipped
+        return received
+
     def transmit(self, bits: Sequence[int]) -> RoundOutcome:
         """Transmit one round: combine ``bits`` with OR, apply noise.
 

@@ -24,5 +24,8 @@ class NoiselessChannel(Channel):
     def _deliver_shared(self, or_value: int) -> int:
         return or_value
 
+    def _deliver_shared_run(self, or_value: int, count: int) -> bytes:
+        return (b"\x01" if or_value else b"\x00") * count
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NoiselessChannel()"

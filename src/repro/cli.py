@@ -214,11 +214,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_profile(profile, default_path: str, fn) -> int:
+    """Run ``fn`` under :mod:`cProfile` when ``--profile`` was given.
+
+    ``profile`` is ``None`` (flag absent: run plain), ``""`` (bare flag:
+    dump to ``default_path``) or an explicit pstats path.  The dump is
+    written even when ``fn`` raises, so a hung-then-interrupted run still
+    leaves its profile behind; load it with :mod:`pstats` or snakeviz.
+    """
+    if profile is None:
+        return fn()
+    import cProfile
+
+    path = profile or default_path
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn)
+    finally:
+        profiler.dump_stats(path)
+        print(f"wrote profile to {path}", file=sys.stderr)
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser, default_path: str):
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PSTATS_PATH",
+        help="wrap the run in cProfile and write a pstats dump "
+        f"(default: {default_path})",
+    )
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
-    ns = args.ns
     if args.simulator == "none":
         print("overhead needs a real simulator (not 'none')", file=sys.stderr)
         return 2
+    return _with_profile(
+        args.profile, "profile_overhead.pstats", lambda: _run_overhead(args)
+    )
+
+
+def _run_overhead(args: argparse.Namespace) -> int:
+    ns = args.ns
     rows = []
     overheads = []
     trials_per_s = []
@@ -292,14 +331,19 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
 def cmd_run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import run_experiment
 
-    result = run_experiment(
-        args.experiment,
-        seed=args.seed,
-        scale=args.scale,
-        workers=args.workers,
+    def run() -> int:
+        result = run_experiment(
+            args.experiment,
+            seed=args.seed,
+            scale=args.scale,
+            workers=args.workers,
+        )
+        print(result.summary())
+        return 0 if result.all_passed else 1
+
+    return _with_profile(
+        args.profile, f"profile_{args.experiment.upper()}.pstats", run
     )
-    print(result.summary())
-    return 0 if result.all_passed else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -425,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="chunk",
     )
     add_common_run_args(overhead, trials_default=3)
+    _add_profile_arg(overhead, "profile_overhead.pstats")
     overhead.set_defaults(func=cmd_overhead)
 
     experiments = subparsers.add_parser(
@@ -451,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="trial-runner workers for the experiment's sweeps",
     )
+    _add_profile_arg(run_exp, "profile_<ID>.pstats")
     run_exp.set_defaults(func=cmd_run_experiment)
 
     report = subparsers.add_parser(

@@ -14,11 +14,13 @@ sent bit was 0, so codewords with a 1 there are eliminated outright.
 
 Implementation note: decoding is the hottest loop of the owners phase (one
 decode per iteration, a likelihood per codeword).  Both decoders therefore
-work on integer bitmasks: a word's likelihood needs only the four counts
+work on integer masks (one byte per position, packed by ``bytes`` at C
+speed): a word's likelihood needs only the four counts
 ``n_{sent,received}``, all derivable from three popcounts —
 ``n11 = |cw & rc|``, ``n10 = |cw| - n11``, ``n01 = |rc| - n11``,
 ``n00 = L - |cw| - |rc| + n11`` — turning an O(L) Python loop per codeword
-into O(1) big-int arithmetic.
+into O(1) big-int arithmetic, inlined in :meth:`MLDecoder.decode` when
+every transition probability is nonzero.
 """
 
 from __future__ import annotations
@@ -40,10 +42,16 @@ def _log(p: float) -> float:
 
 
 def _word_to_int(word: Sequence[int]) -> int:
-    value = 0
-    for bit in word:
-        value = (value << 1) | (1 if bit else 0)
-    return value
+    """Pack a 0/1 word into an integer mask, one *byte* per position.
+
+    Byte-per-position (via ``bytes``, a single C-level copy) rather than
+    bit-per-position: ``&``, ``^`` and ``bit_count()`` over 0/1 bytes
+    yield exactly the same agreement counts, and packing a Python bit
+    sequence into bytes is an order of magnitude cheaper than a shift
+    loop.  Callers must pass bits in {0, 1} — everything upstream
+    (codeword encoders, the engine's ``validate_bit``) guarantees it.
+    """
+    return int.from_bytes(bytes(word), "big")
 
 
 class MLDecoder:
@@ -74,6 +82,17 @@ class MLDecoder:
             for symbol in range(code.num_symbols)
         ]
         self._mask_weights = [mask.bit_count() for mask in self._masks]
+        self._mask_pairs = list(zip(self._masks, self._mask_weights))
+        # When every transition has nonzero probability the -inf guards in
+        # _score are dead and decode() can inline the scoring loop.
+        self._finite_weights = all(
+            term != _NEG_INF for row in self._weights for term in row
+        )
+        # Decoded symbol per received mask.  decode() is a pure function
+        # of the mask, and under correlated noise every party of a round
+        # receives the same word, so all but the first of n decodes per
+        # owners-phase iteration are dict hits.
+        self._decoded: dict[int, int] = {}
 
     def _score(self, mask: int, weight: int, received: int, ones: int) -> float:
         """Log-likelihood from the four agreement counts (see module
@@ -130,19 +149,46 @@ class MLDecoder:
                 f"length {self._length}"
             )
         received_mask = _word_to_int(received)
+        cached = self._decoded.get(received_mask)
+        if cached is not None:
+            return cached
         ones = received_mask.bit_count()
         best_symbol = -1
         best_score = _NEG_INF
-        for symbol, (mask, weight) in enumerate(
-            zip(self._masks, self._mask_weights)
-        ):
-            score = self._score(mask, weight, received_mask, ones)
-            if score > best_score:
-                best_score = score
-                best_symbol = symbol
+        if self._finite_weights:
+            # The hot loop of the owners phase (one decode per iteration).
+            # Inlined _score with the -inf guards removed: the additions
+            # run in the same order, and a zero count adds ±0.0 exactly,
+            # so scores — and therefore decoded symbols, including ties —
+            # are bit-identical to the guarded version.
+            (w00, w01), (w10, w11) = self._weights
+            length = self._length
+            symbol = 0
+            for mask, weight in self._mask_pairs:
+                n11 = (mask & received_mask).bit_count()
+                score = (
+                    n11 * w11
+                    + (weight - n11) * w10
+                    + (ones - n11) * w01
+                    + (length - weight - ones + n11) * w00
+                )
+                if score > best_score:
+                    best_score = score
+                    best_symbol = symbol
+                symbol += 1
+        else:
+            for symbol, (mask, weight) in enumerate(self._mask_pairs):
+                score = self._score(mask, weight, received_mask, ones)
+                if score > best_score:
+                    best_score = score
+                    best_symbol = symbol
         if best_symbol >= 0 and best_score > _NEG_INF:
-            return best_symbol
-        return MinDistanceDecoder(self.code).decode(received)
+            decoded = best_symbol
+        else:
+            decoded = MinDistanceDecoder(self.code).decode(received)
+        if len(self._decoded) < 1 << 16:
+            self._decoded[received_mask] = decoded
+        return decoded
 
 
 class MinDistanceDecoder:

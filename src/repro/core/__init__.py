@@ -11,7 +11,7 @@ explicit broadcast and output functions — is available in
 :mod:`repro.core.formal` and is what the exact lower-bound machinery runs on.
 """
 
-from repro.core.party import Party, FunctionalParty
+from repro.core.party import Party, FunctionalParty, Burst, Silence
 from repro.core.protocol import Protocol, FunctionalProtocol
 from repro.core.transcript import RoundRecord, Transcript
 from repro.core.result import ExecutionResult
@@ -26,6 +26,8 @@ from repro.core.compose import (
 __all__ = [
     "Party",
     "FunctionalParty",
+    "Burst",
+    "Silence",
     "Protocol",
     "FunctionalProtocol",
     "RoundRecord",

@@ -31,6 +31,38 @@ Non-correlated channels (independent noise, networks) keep the word-level
 ``transmit`` path.  Both paths are bitwise equivalent to the seed loop
 preserved in :mod:`repro.core._legacy_engine` — same RNG draw order, same
 results — which the equivalence suite enforces.
+
+Batch tokens and the sparse scheduler
+-------------------------------------
+
+The dense loops above still pay n generator ``send()`` calls per round even
+when most parties sit in structured idle/repeat stretches (``silent_rounds``
+listeners of the owners phase, ``repeated_bit`` majority votes).  A party
+can instead yield a batch token — :class:`~repro.core.party.Burst` /
+:class:`~repro.core.party.Silence` — meaning "my next ``count`` bits are
+this constant"; the engine then moves the whole execution to an
+event-driven *sparse* loop:
+
+* a **wake-up wheel** (dict: wake round → party indices) schedules each
+  sleeping party's resumption, so sleepers cost nothing per round;
+* a **standing-beep counter** aggregates the 1-bits of sleeping ``Burst``
+  parties, so their contribution to the round's OR and beep count is O(1);
+* per-round work is proportional to the number of *awake* parties, and
+  when nobody is awake the engine transmits and appends the entire stretch
+  up to the next wake-up in one block
+  (:meth:`~repro.channels.base.Channel.transmit_shared_run` +
+  :meth:`~repro.core.transcript.Transcript.append_shared_run`);
+* on wake-up a party receives its heard bits as one ``bytes`` object — on
+  the correlated fast path a single bulk slice of the transcript's shared
+  received column (:meth:`~repro.core.transcript.Transcript.shared_slice`),
+  not a per-round Python list.
+
+Tokens are pure sugar: a ``Burst(b, k)`` execution is bitwise identical —
+transcript columns, outputs, ``beeps_per_party``, channel statistics, RNG
+draw order — to the same party yielding ``b`` for ``k`` consecutive rounds.
+Protocols that never yield a token never leave the dense loops (the token
+check hides in the existing not-a-small-int branch), so the pure per-round
+hot path is unchanged.
 """
 
 from __future__ import annotations
@@ -39,6 +71,8 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.channels.base import Channel
+from repro.channels.stats import ChannelStats
+from repro.core.party import Burst
 from repro.core.protocol import Protocol
 from repro.core.result import ExecutionResult
 from repro.core.transcript import Transcript
@@ -90,12 +124,18 @@ def run_protocol(
             loop is untouched, no RNG draws are consumed, and the
             execution is bitwise identical to an untraced one.
 
+    Parties may yield batch tokens (:class:`~repro.core.party.Burst`,
+    :class:`~repro.core.party.Silence`) instead of per-round bits; see the
+    module docstring for the sparse scheduling this enables.  The result is
+    bitwise identical either way.
+
     Returns:
         An :class:`~repro.core.result.ExecutionResult`.
 
     Raises:
         ProtocolDesyncError: Parties disagreed on when to stop.
-        ProtocolError: The protocol exceeded ``max_rounds``.
+        ProtocolError: The protocol exceeded ``max_rounds``, or a batch
+            token carried an invalid repeat count.
     """
     tracing = observe is not None and observe.enabled
     started = perf_counter() if tracing else 0.0
@@ -122,6 +162,7 @@ def run_protocol(
     finished = [False] * n_parties
     finished_count = 0
     pending_beeps = 0  # ones among the pending bits == next round's energy
+    sparse_entries: list[tuple[int, Any]] | None = None
     for index, program in enumerate(programs):
         try:
             bit = next(program)
@@ -131,17 +172,89 @@ def run_protocol(
             outputs[index] = stop.value
             continue
         if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+            if isinstance(bit, Burst):
+                # First batch token: the run belongs to the sparse loop.
+                # Undo the per-bit energy credits of the already-primed
+                # parties — the sparse entry accounting re-credits them —
+                # and prime the rest token-aware.
+                sparse_entries = []
+                for earlier in range(index):
+                    if finished[earlier]:
+                        continue
+                    beeps_per_party[earlier] -= pending_bits[earlier]
+                    sparse_entries.append((earlier, pending_bits[earlier]))
+                sparse_entries.append((index, bit))
+                for later in range(index + 1, n_parties):
+                    try:
+                        token = next(programs[later])
+                    except StopIteration as stop:
+                        finished[later] = True
+                        finished_count += 1
+                        outputs[later] = stop.value
+                        continue
+                    sparse_entries.append((later, token))
+                break
             bit = _validate(bit)
         pending_bits[index] = bit
         beeps_per_party[index] += bit
         pending_beeps += bit
 
+    # Bind each generator's send once; the loops below run n times per round.
+    sends = [program.send for program in programs]
+    if sparse_entries is not None:
+        rounds = _run_sparse(
+            sends, channel, transcript, record_sent, max_rounds,
+            outputs, finished, finished_count, beeps_per_party,
+            0, sparse_entries,
+        )
+    else:
+        rounds = _run_dense(
+            sends, channel, transcript, record_sent, max_rounds,
+            outputs, finished, finished_count, beeps_per_party,
+            pending_bits, pending_beeps,
+        )
+
+    stats_after = channel.stats.snapshot()
+    delta = _stats_delta(stats_before, stats_after)
+    result = ExecutionResult(
+        outputs=outputs,
+        transcript=transcript,
+        rounds=rounds,
+        channel_stats=delta,
+        beeps_per_party=tuple(beeps_per_party),
+    )
+    if tracing:
+        _emit_run_events(observe, protocol, result, perf_counter() - started)
+    return result
+
+
+def _run_dense(
+    sends: list,
+    channel: Channel,
+    transcript: Transcript,
+    record_sent: bool,
+    max_rounds: int,
+    outputs: list,
+    finished: list,
+    finished_count: int,
+    beeps_per_party: list,
+    pending_bits: list,
+    pending_beeps: int,
+) -> int:
+    """The per-round loops — every party advances every round.
+
+    This is the seed-equivalent hot path, unchanged for protocols that only
+    ever yield plain bits.  The first batch token seen in a collection loop
+    hands the rest of the execution to :func:`_run_sparse` (the check lives
+    inside the existing not-a-cached-small-int branch, so pure per-round
+    protocols pay nothing for it).  Returns the number of rounds executed.
+    """
+    n_parties = len(sends)
+    _validate = validate_bit
     fast_path = channel.correlated
     append_raw = transcript.append_raw
     transmit_shared = channel.transmit_shared
     transmit = channel.transmit
-    # Bind each generator's send once; the loop below runs n times per round.
-    sends = [program.send for program in programs]
     rounds = 0
     while finished_count < n_parties:
         if finished_count:
@@ -173,6 +286,13 @@ def run_protocol(
                     outputs[index] = stop.value
                     continue
                 if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+                    if isinstance(bit, Burst):
+                        return _dense_to_sparse(
+                            sends, channel, transcript, record_sent,
+                            max_rounds, outputs, finished, finished_count,
+                            beeps_per_party, pending_bits, rounds,
+                            index, bit, received, None,
+                        )
                     bit = _validate(bit)
                 pending_bits[index] = bit
                 beeps_per_party[index] += bit
@@ -197,23 +317,345 @@ def run_protocol(
                     outputs[index] = stop.value
                     continue
                 if bit is not _BIT_ZERO and bit is not _BIT_ONE:
+                    if isinstance(bit, Burst):
+                        return _dense_to_sparse(
+                            sends, channel, transcript, record_sent,
+                            max_rounds, outputs, finished, finished_count,
+                            beeps_per_party, pending_bits, rounds,
+                            index, bit, None, received_word,
+                        )
                     bit = _validate(bit)
                 pending_bits[index] = bit
                 beeps_per_party[index] += bit
                 pending_beeps += bit
+    return rounds
 
-    stats_after = channel.stats.snapshot()
-    delta = _stats_delta(stats_before, stats_after)
-    result = ExecutionResult(
-        outputs=outputs,
-        transcript=transcript,
-        rounds=rounds,
-        channel_stats=delta,
-        beeps_per_party=tuple(beeps_per_party),
+
+def _dense_to_sparse(
+    sends: list,
+    channel: Channel,
+    transcript: Transcript,
+    record_sent: bool,
+    max_rounds: int,
+    outputs: list,
+    finished: list,
+    finished_count: int,
+    beeps_per_party: list,
+    pending_bits: list,
+    rounds: int,
+    token_index: int,
+    token: Burst,
+    received,
+    received_word,
+) -> int:
+    """A party yielded its first batch token mid-collection.
+
+    Finish the round's collection token-aware, then hand the execution to
+    :func:`_run_sparse`.  Cold path — runs at most once per execution.
+    """
+    entries: list[tuple[int, Any]] = []
+    # Parties before token_index were already credited their next bit by
+    # the dense collection loop; the sparse entry accounting re-credits.
+    for earlier in range(token_index):
+        if finished[earlier]:
+            continue
+        beeps_per_party[earlier] -= pending_bits[earlier]
+        entries.append((earlier, pending_bits[earlier]))
+    entries.append((token_index, token))
+    for later in range(token_index + 1, len(sends)):
+        payload = received if received_word is None else received_word[later]
+        try:
+            follow = sends[later](payload)
+        except StopIteration as stop:
+            finished[later] = True
+            finished_count += 1
+            outputs[later] = stop.value
+            continue
+        entries.append((later, follow))
+    return _run_sparse(
+        sends, channel, transcript, record_sent, max_rounds,
+        outputs, finished, finished_count, beeps_per_party,
+        rounds, entries,
     )
-    if tracing:
-        _emit_run_events(observe, protocol, result, perf_counter() - started)
-    return result
+
+
+def _run_sparse(
+    sends: list,
+    channel: Channel,
+    transcript: Transcript,
+    record_sent: bool,
+    max_rounds: int,
+    outputs: list,
+    finished: list,
+    finished_count: int,
+    beeps_per_party: list,
+    rounds: int,
+    entries: list,
+) -> int:
+    """The event-driven loops — per-round work ∝ number of awake parties.
+
+    ``entries`` holds one ``(party_index, yielded_value)`` pair per
+    unfinished party, in index order, all covering round ``rounds`` onward.
+    Scheduling state:
+
+    * ``bits[i]`` — the bit party ``i`` sends every round until it next
+      advances (its pending bit if awake, its token's constant if asleep);
+    * ``awake`` — sorted indices of parties advancing every round;
+    * ``wheel`` — wake round → sleeping parties resuming there;
+    * ``batch_start[i]`` — first round covered by sleeper ``i``'s token;
+    * ``standing_beeps`` / ``awake_beeps`` — number of 1-bits contributed
+      per round by sleeping / awake parties, so the round's OR and beep
+      count never iterate over sleepers.
+
+    Energy is credited when a token is accepted (the full ``bit × count``
+    for a batch), mirroring the dense loop's credit-at-collection: on every
+    returning execution each accepted batch ran to completion, so the
+    counts are exact.  Returns the number of rounds executed.
+    """
+    n_parties = len(sends)
+    _validate = validate_bit
+
+    bits = [0] * n_parties
+    awake: list[int] = []
+    wheel: dict[int, list[int]] = {}
+    batch_start = [0] * n_parties
+    awake_beeps = 0
+    standing_beeps = 0
+
+    for index, token in entries:
+        if token is _BIT_ZERO or token is _BIT_ONE:
+            bits[index] = token
+            awake.append(index)
+            awake_beeps += token
+            beeps_per_party[index] += token
+        elif isinstance(token, Burst):
+            t_bit = token.bit
+            if t_bit is not _BIT_ZERO and t_bit is not _BIT_ONE:
+                t_bit = _validate(t_bit)
+            t_count = token.count
+            if type(t_count) is not int or t_count < 1:
+                raise ProtocolError(
+                    f"batch token count must be a positive int, "
+                    f"got {t_count!r}"
+                )
+            bits[index] = t_bit
+            batch_start[index] = rounds
+            wheel.setdefault(rounds + t_count, []).append(index)
+            if t_bit:
+                standing_beeps += 1
+                beeps_per_party[index] += t_count
+        else:
+            bit = _validate(token)
+            bits[index] = bit
+            awake.append(index)
+            awake_beeps += bit
+            beeps_per_party[index] += bit
+
+    if channel.correlated:
+        # Correlated fast path: shared received column, run-batched
+        # transmission whenever every unfinished party is asleep.
+        transmit_shared = channel.transmit_shared
+        transmit_shared_run = channel.transmit_shared_run
+        append_raw = transcript.append_raw
+        append_shared_run = transcript.append_shared_run
+        shared_slice = transcript.shared_slice
+        received = 0
+        while finished_count < n_parties:
+            if finished_count:
+                laggards = [i for i, done in enumerate(finished) if not done]
+                raise ProtocolDesyncError(
+                    f"parties {laggards} still communicating after others "
+                    f"finished at round {rounds}"
+                )
+            if awake:
+                if rounds >= max_rounds:
+                    raise ProtocolError(
+                        f"protocol exceeded max_rounds={max_rounds}"
+                    )
+                beeps = awake_beeps + standing_beeps
+                or_value = 1 if beeps else 0
+                received = transmit_shared(or_value, beeps)
+                append_raw(
+                    bits if record_sent else None, or_value, received
+                )
+                rounds += 1
+            else:
+                # Nobody awake: run to the next wake-up in one block.  The
+                # sent row, OR and beep count are constant over the run.
+                span = min(wheel) - rounds
+                if rounds + span > max_rounds:
+                    span = max_rounds - rounds
+                    if span <= 0:
+                        raise ProtocolError(
+                            f"protocol exceeded max_rounds={max_rounds}"
+                        )
+                or_value = 1 if standing_beeps else 0
+                run = transmit_shared_run(or_value, standing_beeps, span)
+                append_shared_run(
+                    or_value, run, bytes(bits) if record_sent else None
+                )
+                rounds += span
+            wakers = wheel.pop(rounds, None)
+            if wakers is None:
+                if not awake:
+                    # A max_rounds-clipped run; the guard above fires next.
+                    continue
+                wakers = ()
+            elif len(wakers) > 1:
+                # Parties from different past boundaries may share a wake
+                # round; advance in party order like the dense loop.
+                wakers.sort()
+            new_awake: list[int] = []
+            push = new_awake.append
+            awake_beeps = 0
+            a_total = len(awake)
+            w_total = len(wakers)
+            a_pos = w_pos = 0
+            while a_pos < a_total or w_pos < w_total:
+                if w_pos >= w_total or (
+                    a_pos < a_total and awake[a_pos] < wakers[w_pos]
+                ):
+                    index = awake[a_pos]
+                    a_pos += 1
+                    payload = received
+                else:
+                    index = wakers[w_pos]
+                    w_pos += 1
+                    payload = shared_slice(batch_start[index], rounds)
+                    standing_beeps -= bits[index]
+                try:
+                    token = sends[index](payload)
+                except StopIteration as stop:
+                    finished[index] = True
+                    finished_count += 1
+                    outputs[index] = stop.value
+                    bits[index] = 0
+                    continue
+                if token is _BIT_ZERO or token is _BIT_ONE:
+                    bits[index] = token
+                    push(index)
+                    awake_beeps += token
+                    beeps_per_party[index] += token
+                elif isinstance(token, Burst):
+                    t_bit = token.bit
+                    if t_bit is not _BIT_ZERO and t_bit is not _BIT_ONE:
+                        t_bit = _validate(t_bit)
+                    t_count = token.count
+                    if type(t_count) is not int or t_count < 1:
+                        raise ProtocolError(
+                            f"batch token count must be a positive int, "
+                            f"got {t_count!r}"
+                        )
+                    bits[index] = t_bit
+                    batch_start[index] = rounds
+                    wake_at = rounds + t_count
+                    slot = wheel.get(wake_at)
+                    if slot is None:
+                        wheel[wake_at] = [index]
+                    else:
+                        slot.append(index)
+                    if t_bit:
+                        standing_beeps += 1
+                        beeps_per_party[index] += t_count
+                else:
+                    bit = _validate(token)
+                    bits[index] = bit
+                    push(index)
+                    awake_beeps += bit
+                    beeps_per_party[index] += bit
+            awake = new_awake
+        return rounds
+
+    # Word path: per-party views.  Sleepers still skip their generator
+    # resumption (the win that matters), but every round transmits
+    # individually — per-party received words have no shared run form.
+    transmit = channel.transmit
+    append_raw = transcript.append_raw
+    recv_slice = transcript.recv_slice
+    while finished_count < n_parties:
+        if finished_count:
+            laggards = [i for i, done in enumerate(finished) if not done]
+            raise ProtocolDesyncError(
+                f"parties {laggards} still communicating after others "
+                f"finished at round {rounds}"
+            )
+        if rounds >= max_rounds:
+            raise ProtocolError(
+                f"protocol exceeded max_rounds={max_rounds}"
+            )
+        outcome = transmit(tuple(bits))
+        received_word = outcome.received
+        append_raw(
+            bits if record_sent else None, outcome.or_value, received_word
+        )
+        rounds += 1
+        wakers = wheel.pop(rounds, None)
+        if wakers is None:
+            if not awake:
+                continue
+            wakers = ()
+        elif len(wakers) > 1:
+            wakers.sort()
+        new_awake = []
+        push = new_awake.append
+        awake_beeps = 0
+        a_total = len(awake)
+        w_total = len(wakers)
+        a_pos = w_pos = 0
+        while a_pos < a_total or w_pos < w_total:
+            if w_pos >= w_total or (
+                a_pos < a_total and awake[a_pos] < wakers[w_pos]
+            ):
+                index = awake[a_pos]
+                a_pos += 1
+                payload = received_word[index]
+            else:
+                index = wakers[w_pos]
+                w_pos += 1
+                payload = recv_slice(index, batch_start[index], rounds)
+                standing_beeps -= bits[index]
+            try:
+                token = sends[index](payload)
+            except StopIteration as stop:
+                finished[index] = True
+                finished_count += 1
+                outputs[index] = stop.value
+                bits[index] = 0
+                continue
+            if token is _BIT_ZERO or token is _BIT_ONE:
+                bits[index] = token
+                push(index)
+                awake_beeps += token
+                beeps_per_party[index] += token
+            elif isinstance(token, Burst):
+                t_bit = token.bit
+                if t_bit is not _BIT_ZERO and t_bit is not _BIT_ONE:
+                    t_bit = _validate(t_bit)
+                t_count = token.count
+                if type(t_count) is not int or t_count < 1:
+                    raise ProtocolError(
+                        f"batch token count must be a positive int, "
+                        f"got {t_count!r}"
+                    )
+                bits[index] = t_bit
+                batch_start[index] = rounds
+                wake_at = rounds + t_count
+                slot = wheel.get(wake_at)
+                if slot is None:
+                    wheel[wake_at] = [index]
+                else:
+                    slot.append(index)
+                if t_bit:
+                    standing_beeps += 1
+                    beeps_per_party[index] += t_count
+            else:
+                bit = _validate(token)
+                bits[index] = bit
+                push(index)
+                awake_beeps += bit
+                beeps_per_party[index] += bit
+        awake = new_awake
+    return rounds
 
 
 def _emit_run_events(observe, protocol, result, elapsed: float) -> None:
@@ -237,9 +679,9 @@ def _emit_run_events(observe, protocol, result, elapsed: float) -> None:
     )
     transcript = result.transcript
     if transcript.noisy_count:
-        or_values = transcript.or_values()
-        for position in transcript.noise_positions():
-            or_value = or_values[position]
+        # Single pass over the noisy positions (C-level mask scan): no
+        # full-column or_values() conversion, no O(T) Python loop.
+        for position, or_value in transcript.noise_flips():
             # Shared-view convention: the flip direction relative to the
             # round's true OR (independent noise may flip individual
             # parties both ways; the per-party split is in the stats).
@@ -253,8 +695,6 @@ def _emit_run_events(observe, protocol, result, elapsed: float) -> None:
 
 def _stats_delta(before, after):
     """Channel counters accumulated during this execution only."""
-    from repro.channels.stats import ChannelStats
-
     return ChannelStats(
         rounds=after.rounds - before.rounds,
         beeps_sent=after.beeps_sent - before.beeps_sent,

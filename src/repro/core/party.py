@@ -21,18 +21,71 @@ ordinary sequential code.  Example::
 For protocols given in the paper's functional form (a broadcast function per
 round plus an output function), :class:`FunctionalParty` adapts the
 ``(T, f, g)`` formalism to the coroutine interface.
+
+Batch tokens
+------------
+
+Besides a plain bit, a party may yield a **batch token** covering several
+consecutive rounds in one step:
+
+* ``Burst(bit, count)`` — beep the constant ``bit`` for ``count`` rounds;
+* ``Silence(count)`` — stay silent for ``count`` rounds (sugar for
+  ``Burst(0, count)``).
+
+The engine then *sleeps* the party: its generator is not resumed during the
+covered rounds, and on wake-up it is sent the ``count`` received bits as one
+``bytes`` sequence (a single slice of the transcript's received column)
+instead of one ``int`` per round.  A token is exactly equivalent to yielding
+its bit ``count`` times — same rounds on the channel, same received bits,
+same energy accounting — but the engine's per-round work scales with the
+number of *awake* parties, which is what makes the Theorem 1.2 simulators'
+long repetition/listening stretches cheap.  See ``docs/api.md`` for the
+contract and :mod:`repro.simulation.primitives` for the canonical users.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Generator, Sequence
+from typing import Any, Callable, Generator, Sequence, Union
 
-__all__ = ["Party", "FunctionalParty", "PartyProgram"]
+__all__ = ["Party", "FunctionalParty", "PartyProgram", "Burst", "Silence"]
 
-# The coroutine type of a party: yields beeped bits, receives channel bits,
-# returns the party's output.
-PartyProgram = Generator[int, int, Any]
+
+class Burst:
+    """Yield token: beep the constant ``bit`` for ``count`` rounds.
+
+    The engine validates ``bit`` (must be 0/1) and ``count`` (must be a
+    positive ``int``) when the token is accepted; the constructor stays
+    trivial because tokens are created once per multi-round batch inside
+    party hot loops.
+    """
+
+    __slots__ = ("bit", "count")
+
+    def __init__(self, bit: int, count: int) -> None:
+        self.bit = bit
+        self.count = count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Burst(bit={self.bit}, count={self.count})"
+
+
+class Silence(Burst):
+    """Yield token: stay silent for ``count`` rounds (``Burst(0, count)``)."""
+
+    __slots__ = ()
+
+    def __init__(self, count: int) -> None:
+        Burst.__init__(self, 0, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Silence(count={self.count})"
+
+
+# The coroutine type of a party: yields beeped bits or batch tokens,
+# receives channel bits (an ``int`` per awake round, a ``bytes`` sequence
+# on wake-up from a batch), returns the party's output.
+PartyProgram = Generator[Union[int, Burst], Any, Any]
 
 # f_m^i in the paper: (input, received prefix) -> bit to beep in round m.
 BroadcastFunction = Callable[[Any, Sequence[int]], int]

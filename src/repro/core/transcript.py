@@ -33,6 +33,11 @@ from repro.util.bits import BitWord
 
 __all__ = ["RoundRecord", "Transcript"]
 
+# Byte-translation table flagging noisy rounds when the true OR is 1: a
+# received 0 is a flip (noisy byte 1), a received 1 is clean (0).  When the
+# OR is 0 the received column *is* the noisy mask, no table needed.
+_FLIPPED_WHEN_OR_ONE = bytes([1, 0]) + bytes(range(2, 256))
+
 
 @dataclass(frozen=True)
 class RoundRecord:
@@ -179,6 +184,60 @@ class Transcript:
             self._sent_mask.append(1)
             self._sent_recorded_total += 1
 
+    def append_shared_run(
+        self,
+        or_value: int,
+        received: bytes,
+        sent_row: bytes | None,
+    ) -> None:
+        """Append ``len(received)`` rounds sharing one sent row — the
+        engine's write path for stretches where every party sleeps inside
+        a batch token (constant bits, so the true OR and the sent row are
+        constant over the whole run).
+
+        Args:
+            or_value: The true OR of every round in the run.
+            received: The shared received bit of each round, as raw bytes
+                (``bytes`` or ``bytearray`` of 0/1 values).
+            sent_row: The constant per-party sent bits, or ``None`` when
+                not recorded.
+
+        Every column update is a single C-level ``extend``/``translate``;
+        the resulting columns are byte-identical to ``len(received)``
+        individual :meth:`append_raw` calls.
+        """
+        count = len(received)
+        if not count:
+            return
+        self._or.extend((b"\x01" if or_value else b"\x00") * count)
+        self._common.extend(received)
+        if self._recv_cols is not None:
+            for column in self._recv_cols:
+                column.extend(received)
+        ones = received.count(1)
+        if or_value:
+            self._noisy.extend(received.translate(_FLIPPED_WHEN_OR_ONE))
+            self._noisy_total += count - ones
+        else:
+            self._noisy.extend(received)
+            self._noisy_total += ones
+        if sent_row is None:
+            if self._sent_flat is not None:
+                self._sent_flat.extend(self._zero_row * count)
+            self._sent_mask.extend(count * b"\x00")
+        else:
+            if len(sent_row) != self.n_parties:
+                raise TranscriptError(
+                    f"record has {len(sent_row)} sent bits, "
+                    f"expected {self.n_parties}"
+                )
+            flat = self._sent_flat
+            if flat is None:
+                flat = self._materialize_sent_rows()
+            flat.extend(bytes(sent_row) * count)
+            self._sent_mask.extend(count * b"\x01")
+            self._sent_recorded_total += count
+
     def append(self, record: RoundRecord) -> None:
         """Append one round from a :class:`RoundRecord` (compatibility path)."""
         self.append_raw(record.sent, record.or_value, tuple(record.received))
@@ -280,6 +339,28 @@ class Transcript:
         # One party's column is a strided slice of the row-major store.
         return tuple(self._sent_flat[party_index :: self.n_parties])
 
+    def shared_slice(self, start: int, stop: int) -> bytes:
+        """Received bits of rounds ``[start, stop)`` on the shared view.
+
+        One bulk slice of the shared received column, delivered as a single
+        ``bytes`` object — the engine's wake-up payload for batch-token
+        parties on the correlated fast path.  (An actual zero-copy
+        ``memoryview`` would pin the growing ``bytearray`` and make the
+        next append raise ``BufferError`` if a party retained it, so the
+        slice is one C-level copy instead.)
+        """
+        return bytes(self._common[start:stop])
+
+    def recv_slice(self, party_index: int, start: int, stop: int) -> bytes:
+        """Received bits of rounds ``[start, stop)`` as seen by one party.
+
+        The word-path analogue of :meth:`shared_slice`: reads the party's
+        own column when views have diverged, the shared column otherwise.
+        """
+        columns = self._recv_cols
+        source = self._common if columns is None else columns[party_index]
+        return bytes(source[start:stop])
+
     @property
     def noisy_count(self) -> int:
         """Number of rounds affected by noise (O(1), fed by the mask)."""
@@ -289,6 +370,23 @@ class Transcript:
         """Indices of rounds affected by noise."""
         mask = self._noisy
         return tuple(index for index, flag in enumerate(mask) if flag)
+
+    def noise_flips(self) -> tuple[tuple[int, int], ...]:
+        """``(round, or_value)`` for every noisy round.
+
+        One pass over the noisy positions only: the mask is scanned with
+        C-level ``find`` hops, so the Python-level work is O(noisy rounds),
+        not O(T) — the observability layer derives its ``noise_flip``
+        events from this.
+        """
+        mask = self._noisy
+        or_column = self._or
+        flips: list[tuple[int, int]] = []
+        position = mask.find(1)
+        while position != -1:
+            flips.append((position, or_column[position]))
+            position = mask.find(1, position + 1)
+        return tuple(flips)
 
     # ------------------------------------------------------------------
     # Rendering

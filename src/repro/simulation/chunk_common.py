@@ -12,7 +12,11 @@ Everything here runs inside the engine's per-round hot loop (each virtual
 round expands to ``repetitions`` channel rounds), so the building blocks
 avoid per-round allocation: :func:`~repro.simulation.primitives.repeated_bit`
 keeps a running vote count, and the chunk lists below grow by one entry per
-*virtual* round, not per channel round.
+*virtual* round, not per channel round.  Since the primitives emit batch
+tokens (``Burst``/``Silence``), each virtual round is also a *single*
+engine yield per party — the sparse scheduler delivers all
+``repetitions`` heard bits at once, so generator resumes scale with
+virtual rounds too.
 """
 
 from __future__ import annotations

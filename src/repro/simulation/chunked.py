@@ -24,6 +24,14 @@ channel.  (Independent noise is served by
 :class:`~repro.simulation.repetition_sim.RepetitionSimulator` for the
 poly-length protocols this repository runs; see DESIGN.md.)
 
+All three phases speak through the batch-token primitives
+(:mod:`repro.simulation.primitives`): phase 1 is one ``Burst``/``Silence``
+per party per virtual round, the owners phase one token per constant run
+of each codeword (listeners yield a single ``Silence`` for the whole
+word), and the verification vote one token per party per vote — so the
+engine's per-round Python work collapses onto the few parties awake at
+run boundaries.
+
 Inner parties are *replayed*: each attempt re-creates the party and feeds it
 the committed prefix, so adaptive protocols — whose beeps depend on the
 transcript — are simulated correctly after rewinds.

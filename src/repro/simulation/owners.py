@@ -23,6 +23,14 @@ Differences from the paper's pseudocode, by necessity of actually running:
 * **Iteration count.**  The paper uses ``2n`` iterations for a chunk of
   length ``n``; every iteration either claims a 1 or advances the turn, so
   ``|J| + n`` iterations suffice in general and that is what we run.
+
+Per iteration, exactly one party (the current speaker) transmits a
+codeword while everyone else listens; via
+:func:`~repro.simulation.primitives.transmit_word` the speaker yields one
+batch token per constant run of the codeword and each listener yields a
+single ``Silence`` spanning the whole word, so the engine sleeps all
+``n - 1`` listeners for the iteration instead of resuming them every
+round.
 * **Claims are restricted to positions with ``π_j = 1``** — claiming a
   position the shared transcript shows as 0 could not help verification.
 

@@ -10,6 +10,12 @@ reserves the chunk/owners machinery for arbitrary lengths.
 This scheme needs no shared transcript: each party majority-votes its *own*
 receptions, so it runs unchanged over correlated and independent noise — it
 is the workhorse of experiment E7's noise-model comparison.
+
+Each virtual round is a single engine yield per party: the repeated beep
+is one :class:`~repro.core.party.Burst` (via
+:func:`~repro.simulation.primitives.repeated_bit`), so over independent
+noise this exercises the sparse scheduler's per-party word-delivery path
+end to end.
 """
 
 from __future__ import annotations

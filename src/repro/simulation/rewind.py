@@ -36,6 +36,12 @@ The same scheme run over a 0→1-noisy channel is *unsound twice over*: noise
 fabricates alarms (popping good rounds) and fabricates transcript 1s that no
 party can dispute (§2.1's unverifiable 1s).  Experiment E3 runs exactly this
 head-to-head to exhibit the paper's asymmetry.
+
+Unlike the chunk-based schemes, rewind stays **per-round** and emits no
+batch tokens: every alarm bit depends on the received bit of the previous
+round (an alarm pops the transcript, changing what every party compares
+against next iteration), so no party ever knows its next two beeps in
+advance — there is no constant run to batch.
 """
 
 from __future__ import annotations

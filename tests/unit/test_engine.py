@@ -4,13 +4,16 @@ import pytest
 
 from repro.channels import (
     CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
     NoiselessChannel,
     ScriptedChannel,
 )
 from repro.core import (
+    Burst,
     FunctionalProtocol,
     Party,
     Protocol,
+    Silence,
     run_protocol,
 )
 from repro.errors import (
@@ -293,6 +296,233 @@ class TestEngineEdgeCases:
         assert result.channel_stats.flips_up == 1
         assert result.outputs == [(0, 1), (0, 1)]
         assert result.total_energy == 0
+
+
+class _TokenScriptProtocol(Protocol):
+    """Each party runs a script of ``('bit', b)`` / ``('burst', b, k)`` /
+    ``('silence', k)`` steps, collecting everything it heard."""
+
+    class _P(Party):
+        def __init__(self, script):
+            self.script = script
+
+        def run(self):
+            heard = []
+            for step in self.script:
+                kind = step[0]
+                if kind == "bit":
+                    heard.append((yield step[1]))
+                elif kind == "burst":
+                    heard.extend((yield Burst(step[1], step[2])))
+                else:
+                    heard.extend((yield Silence(step[1])))
+            return tuple(heard)
+
+    def __init__(self, scripts):
+        super().__init__(len(scripts))
+        self.scripts = scripts
+
+    def create_parties(self, inputs, shared_seed=None):
+        return [self._P(script) for script in self.scripts]
+
+
+def _desugar(scripts):
+    """The per-round twin of a token script set."""
+    patterns = []
+    for script in scripts:
+        bits = []
+        for step in script:
+            if step[0] == "bit":
+                bits.append(step[1])
+            elif step[0] == "burst":
+                bits.extend([step[1]] * step[2])
+            else:
+                bits.extend([0] * step[1])
+        patterns.append(tuple(bits))
+    return _FixedPatternProtocol(patterns)
+
+
+def _assert_same_execution(tokened, desugared):
+    assert tokened.outputs == desugared.outputs
+    assert tokened.rounds == desugared.rounds
+    assert tokened.beeps_per_party == desugared.beeps_per_party
+    assert tokened.channel_stats == desugared.channel_stats
+    token_t, plain_t = tokened.transcript, desugared.transcript
+    assert len(token_t) == len(plain_t)
+    assert list(token_t) == list(plain_t)
+    assert token_t.or_values() == plain_t.or_values()
+    assert token_t.noisy_count == plain_t.noisy_count
+    assert token_t.noise_positions() == plain_t.noise_positions()
+    for party in range(token_t.n_parties):
+        assert token_t.view(party) == plain_t.view(party)
+
+
+class TestBatchTokens:
+    """Engine-level semantics of Burst/Silence yield tokens."""
+
+    STAGGERED = [
+        [("burst", 1, 3), ("bit", 0), ("silence", 2)],
+        [("silence", 4), ("bit", 1), ("bit", 0)],
+        [("bit", 0), ("burst", 0, 2), ("bit", 1), ("burst", 1, 2)],
+    ]
+
+    @pytest.mark.parametrize("record_sent", [True, False])
+    def test_matches_desugared_on_noisy_channel(self, record_sent):
+        scripts = self.STAGGERED
+        tokened = run_protocol(
+            _TokenScriptProtocol(scripts),
+            [None] * 3,
+            CorrelatedNoiseChannel(0.3, rng=11),
+            record_sent=record_sent,
+        )
+        desugared = run_protocol(
+            _desugar(scripts),
+            [None] * 3,
+            CorrelatedNoiseChannel(0.3, rng=11),
+            record_sent=record_sent,
+        )
+        _assert_same_execution(tokened, desugared)
+        if record_sent:
+            for party in range(3):
+                assert tokened.transcript.sent_bits(
+                    party
+                ) == desugared.transcript.sent_bits(party)
+
+    def test_matches_desugared_on_word_path(self):
+        # Independent noise exercises the sparse word loop and per-party
+        # received slices.
+        scripts = self.STAGGERED
+        tokened = run_protocol(
+            _TokenScriptProtocol(scripts),
+            [None] * 3,
+            IndependentNoiseChannel(0.3, rng=23),
+        )
+        desugared = run_protocol(
+            _desugar(scripts),
+            [None] * 3,
+            IndependentNoiseChannel(0.3, rng=23),
+        )
+        _assert_same_execution(tokened, desugared)
+
+    def test_all_asleep_run_batching(self):
+        # Every party sleeps from round 0: the engine transmits the whole
+        # stretch in blocks; transcript and stats must be exact.
+        scripts = [
+            [("burst", 1, 5), ("silence", 3)],
+            [("silence", 8)],
+        ]
+        result = run_protocol(
+            _TokenScriptProtocol(scripts), [None] * 2, NoiselessChannel()
+        )
+        assert result.rounds == 8
+        assert result.outputs[1] == (1,) * 5 + (0,) * 3
+        assert result.beeps_per_party == (5, 0)
+        assert result.channel_stats.beeps_sent == 5
+        assert result.channel_stats.or_ones == 5
+        assert result.transcript.sent_bits(0) == (1,) * 5 + (0,) * 3
+        assert result.transcript.sent_bits(1) == (0,) * 8
+
+    def test_wake_payload_is_one_bytes_slice(self):
+        payloads = []
+
+        class _Probe(Party):
+            def run(self):
+                payloads.append((yield Silence(4)))
+                return None
+
+        class _ProbeProtocol(Protocol):
+            def create_parties(self, inputs, shared_seed=None):
+                return [_Probe()]
+
+        run_protocol(_ProbeProtocol(1), [None], NoiselessChannel())
+        assert payloads == [b"\x00\x00\x00\x00"]
+
+    def test_sleeping_burst_feeds_the_or(self):
+        # Party 0 sleeps while beeping; awake party 1 must hear the OR.
+        scripts = [
+            [("burst", 1, 3)],
+            [("bit", 0), ("bit", 0), ("bit", 0)],
+        ]
+        result = run_protocol(
+            _TokenScriptProtocol(scripts), [None] * 2, NoiselessChannel()
+        )
+        assert result.outputs[1] == (1, 1, 1)
+
+    def test_tokens_at_priming(self):
+        # The very first yield of every party is a token (no dense rounds).
+        result = run_protocol(
+            _TokenScriptProtocol([[("burst", 1, 2)], [("silence", 2)]]),
+            [None] * 2,
+            NoiselessChannel(),
+        )
+        assert result.rounds == 2
+        assert result.outputs == [(1, 1), (1, 1)]
+
+    def test_max_rounds_inside_a_batch(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                _TokenScriptProtocol([[("silence", 10)]]),
+                [None],
+                NoiselessChannel(),
+                max_rounds=4,
+            )
+        # Exactly at the cap is fine.
+        result = run_protocol(
+            _TokenScriptProtocol([[("silence", 10)]]),
+            [None],
+            NoiselessChannel(),
+            max_rounds=10,
+        )
+        assert result.rounds == 10
+
+    def test_max_rounds_inside_a_batch_charges_the_channel(self):
+        # The clipped run still transmits max_rounds rounds, like the
+        # dense loop does before its guard fires.
+        channel = NoiselessChannel()
+        with pytest.raises(ProtocolError):
+            run_protocol(
+                _TokenScriptProtocol([[("silence", 10)]]),
+                [None],
+                channel,
+                max_rounds=4,
+            )
+        assert channel.stats.rounds == 4
+
+    def test_desync_against_token_party(self):
+        scripts = [
+            [("bit", 0)],
+            [("silence", 5)],
+        ]
+        with pytest.raises(ProtocolDesyncError) as excinfo:
+            run_protocol(
+                _TokenScriptProtocol(scripts), [None] * 2, NoiselessChannel()
+            )
+        assert "[1]" in str(excinfo.value)
+
+    def test_bad_token_count_raises(self):
+        for count in (0, -3, 1.5, "2"):
+            with pytest.raises(ProtocolError):
+                run_protocol(
+                    _TokenScriptProtocol([[("burst", 1, count)]]),
+                    [None],
+                    NoiselessChannel(),
+                )
+
+    def test_bad_token_bit_raises(self):
+        with pytest.raises(ChannelError):
+            run_protocol(
+                _TokenScriptProtocol([[("burst", 7, 3)]]),
+                [None],
+                NoiselessChannel(),
+            )
+
+    def test_scripted_flips_reach_sleeping_listener(self):
+        channel = ScriptedChannel(flip_rounds={1, 3})
+        result = run_protocol(
+            _TokenScriptProtocol([[("silence", 5)]]), [None], channel
+        )
+        assert result.outputs[0] == (0, 1, 0, 1, 0)
+        assert result.channel_stats.flips_up == 2
 
 
 class TestFunctionalProtocol:

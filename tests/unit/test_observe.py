@@ -372,6 +372,48 @@ class TestTracingNeverPerturbs:
             traced.transcript.or_values() == untraced.transcript.or_values()
         )
 
+    @pytest.mark.parametrize(
+        "simulator_factory",
+        [
+            ChunkCommitSimulator,
+            HierarchicalSimulator,
+            RepetitionSimulator,
+            RewindSimulator,
+        ],
+    )
+    def test_traced_tokens_match_untraced_desugared(self, simulator_factory):
+        # Crossing both equivalence axes at once: a traced run with the
+        # primitives' batch tokens must equal an untraced run with the
+        # desugared per-round primitives.
+        from repro.simulation.primitives import batch_tokens
+
+        task = ParityTask(4)
+        inputs = _sample(task)
+        traced_tokens = simulator_factory().simulate(
+            task.noiseless_protocol(),
+            inputs,
+            CorrelatedNoiseChannel(0.08, rng=77),
+            observe=Observer([MetricsCollector()]),
+        )
+        with batch_tokens(False):
+            untraced_plain = simulator_factory().simulate(
+                task.noiseless_protocol(),
+                inputs,
+                CorrelatedNoiseChannel(0.08, rng=77),
+            )
+        assert traced_tokens.rounds == untraced_plain.rounds
+        assert traced_tokens.outputs == untraced_plain.outputs
+        assert traced_tokens.beeps_per_party == untraced_plain.beeps_per_party
+        assert (
+            traced_tokens.transcript.or_values()
+            == untraced_plain.transcript.or_values()
+        )
+        assert (
+            traced_tokens.transcript.common_view()
+            == untraced_plain.transcript.common_view()
+        )
+        assert traced_tokens.channel_stats == untraced_plain.channel_stats
+
     def test_sweep_points_identical_across_tracing_and_backends(self):
         task = InputSetTask(4)
         executor = ProtocolExecutor(

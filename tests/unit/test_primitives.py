@@ -1,15 +1,25 @@
-"""Unit tests for the simulation sub-coroutines."""
+"""Unit tests for the simulation sub-coroutines.
 
+The primitives emit batch tokens by default and desugar to per-round bits
+under ``batch_tokens(False)``; both forms are exercised here, plus the
+invariant that the two decode identically from the same channel bits.
+"""
+
+import pytest
+
+from repro.core.party import Burst, Silence
 from repro.simulation.primitives import (
+    batch_tokens,
+    batch_tokens_enabled,
     repeated_bit,
     silent_rounds,
     transmit_word,
 )
 
 
-def _drive(generator, channel_bits):
-    """Run a sub-coroutine feeding it scripted channel bits; return
-    (beeped bits, return value)."""
+def _drive_bits(generator, channel_bits):
+    """Run a desugared sub-coroutine feeding it scripted per-round channel
+    bits; return (beeped bits, return value)."""
     beeped = []
     try:
         beeped.append(next(generator))
@@ -20,34 +30,78 @@ def _drive(generator, channel_bits):
     raise AssertionError("generator did not finish on scripted input")
 
 
+def _drive_tokens(generator, channel_bits):
+    """Run a token-mode sub-coroutine, answering each Burst/Silence token
+    with the next ``count`` scripted channel bits as one bytes payload (the
+    engine's wake-up convention); return (tokens, return value)."""
+    tokens = []
+    position = 0
+    try:
+        token = next(generator)
+        while True:
+            tokens.append(token)
+            assert isinstance(token, Burst)
+            payload = bytes(channel_bits[position : position + token.count])
+            assert len(payload) == token.count, "script shorter than token"
+            position += token.count
+            token = generator.send(payload)
+    except StopIteration as stop:
+        assert position == len(channel_bits), "script longer than tokens"
+        return tokens, stop.value
+    raise AssertionError("generator did not finish on scripted input")
+
+
 class TestRepeatedBit:
-    def test_beeps_bit_every_round(self):
-        beeped, _ = _drive(repeated_bit(1, 3), [1, 1, 1])
-        assert beeped == [1, 1, 1]
+    def test_single_burst_token(self):
+        tokens, _ = _drive_tokens(repeated_bit(1, 3), [1, 1, 1])
+        assert len(tokens) == 1
+        assert type(tokens[0]) is Burst
+        assert tokens[0].bit == 1
+        assert tokens[0].count == 3
 
     def test_majority_decoding(self):
-        _, decoded = _drive(repeated_bit(0, 3), [1, 0, 1])
+        _, decoded = _drive_tokens(repeated_bit(0, 3), [1, 0, 1])
         assert decoded == 1
-        _, decoded = _drive(repeated_bit(0, 3), [0, 1, 0])
+        _, decoded = _drive_tokens(repeated_bit(0, 3), [0, 1, 0])
         assert decoded == 0
 
     def test_tie_goes_to_zero(self):
-        _, decoded = _drive(repeated_bit(0, 4), [1, 1, 0, 0])
+        _, decoded = _drive_tokens(repeated_bit(0, 4), [1, 1, 0, 0])
         assert decoded == 0
 
     def test_single_repetition(self):
-        beeped, decoded = _drive(repeated_bit(1, 1), [0])
-        assert beeped == [1]
+        tokens, decoded = _drive_tokens(repeated_bit(1, 1), [0])
+        assert tokens[0].count == 1
         assert decoded == 0
+
+    def test_desugared_beeps_bit_every_round(self):
+        with batch_tokens(False):
+            beeped, _ = _drive_bits(repeated_bit(1, 3), [1, 1, 1])
+        assert beeped == [1, 1, 1]
+
+    def test_desugared_matches_token_decoding(self):
+        script = [1, 0, 1, 1, 0]
+        _, from_tokens = _drive_tokens(repeated_bit(0, 5), script)
+        with batch_tokens(False):
+            _, from_bits = _drive_bits(repeated_bit(0, 5), script)
+        assert from_tokens == from_bits == 1
 
 
 class TestTransmitWord:
-    def test_beeps_word_in_order(self):
-        beeped, _ = _drive(transmit_word((1, 0, 1)), [1, 0, 1])
-        assert beeped == [1, 0, 1]
+    def test_one_token_per_constant_run(self):
+        tokens, _ = _drive_tokens(
+            transmit_word((1, 1, 0, 0, 0, 1)), [0, 0, 0, 0, 0, 0]
+        )
+        assert [(t.bit, t.count) for t in tokens] == [(1, 2), (0, 3), (1, 1)]
+
+    def test_zero_runs_are_silence_tokens(self):
+        tokens, _ = _drive_tokens(transmit_word((0, 0, 0)), [1, 0, 1])
+        assert len(tokens) == 1
+        assert type(tokens[0]) is Silence
+        assert tokens[0].count == 3
 
     def test_returns_received_word(self):
-        _, received = _drive(transmit_word((0, 0, 0)), [1, 0, 1])
+        _, received = _drive_tokens(transmit_word((0, 1, 0)), [1, 0, 1])
         assert received == (1, 0, 1)
 
     def test_empty_word(self):
@@ -59,12 +113,57 @@ class TestTransmitWord:
         else:
             raise AssertionError("empty word should finish immediately")
 
+    def test_desugared_beeps_word_in_order(self):
+        with batch_tokens(False):
+            beeped, received = _drive_bits(transmit_word((1, 0, 1)), [1, 0, 1])
+        assert beeped == [1, 0, 1]
+        assert received == (1, 0, 1)
+
+    def test_desugared_matches_token_decoding(self):
+        word = (1, 0, 0, 1, 1, 0)
+        script = [0, 1, 1, 0, 1, 0]
+        _, from_tokens = _drive_tokens(transmit_word(word), script)
+        with batch_tokens(False):
+            _, from_bits = _drive_bits(transmit_word(word), script)
+        assert from_tokens == from_bits
+
 
 class TestSilentRounds:
-    def test_beeps_zeros(self):
-        beeped, _ = _drive(silent_rounds(3), [0, 1, 0])
-        assert beeped == [0, 0, 0]
+    def test_single_silence_token(self):
+        tokens, heard = _drive_tokens(silent_rounds(3), [0, 1, 0])
+        assert len(tokens) == 1
+        assert type(tokens[0]) is Silence
+        assert tokens[0].bit == 0
+        assert tokens[0].count == 3
+        assert heard == (0, 1, 0)
 
-    def test_returns_heard_bits(self):
-        _, heard = _drive(silent_rounds(2), [1, 1])
+    def test_desugared_beeps_zeros(self):
+        with batch_tokens(False):
+            beeped, heard = _drive_bits(silent_rounds(2), [1, 1])
+        assert beeped == [0, 0]
         assert heard == (1, 1)
+
+
+class TestBatchTokensToggle:
+    def test_default_is_enabled(self):
+        assert batch_tokens_enabled()
+
+    def test_context_manager_restores_on_exit(self):
+        with batch_tokens(False):
+            assert not batch_tokens_enabled()
+            with batch_tokens(True):
+                assert batch_tokens_enabled()
+            assert not batch_tokens_enabled()
+        assert batch_tokens_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with batch_tokens(False):
+                raise RuntimeError("boom")
+        assert batch_tokens_enabled()
+
+    def test_mode_is_read_when_the_generator_starts(self):
+        generator = repeated_bit(1, 2)  # created in token mode
+        with batch_tokens(False):
+            first = next(generator)  # ...but *started* desugared
+        assert first == 1
