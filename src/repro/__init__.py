@@ -120,6 +120,16 @@ from repro.observe import (
     SummarySink,
     read_jsonl,
 )
+from repro.service import (
+    ResultStore,
+    ShardSpec,
+    SweepGrid,
+    merge_sweep,
+    plan_shards,
+    run_sweep_resumable,
+    sweep_status,
+    validate_shards,
+)
 from repro.lowerbound import LowerBoundAnalyzer
 from repro.errors import (
     ChannelError,
@@ -225,6 +235,15 @@ __all__ = [
     "JsonlSink",
     "SummarySink",
     "read_jsonl",
+    # sweep service (resumable, cached, sharded)
+    "ResultStore",
+    "SweepGrid",
+    "run_sweep_resumable",
+    "sweep_status",
+    "ShardSpec",
+    "plan_shards",
+    "validate_shards",
+    "merge_sweep",
     # experiments / reporting (lazy — see __getattr__)
     "run_experiment",
     "ExperimentResult",

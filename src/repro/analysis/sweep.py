@@ -32,8 +32,9 @@ influences them.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observe import Observer
@@ -102,6 +103,29 @@ class SweepPoint:
         if include_timing:
             payload["timing"] = dict(self.timing)
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepPoint":
+        """Rebuild a point from a :meth:`to_dict` payload.
+
+        Exact inverse for everything :meth:`to_dict` emits: ``success``
+        and ``success_interval`` are derived from ``successes``/``trials``
+        on reconstruction, and JSON floats round-trip bitwise (``repr``
+        precision), so ``from_dict(json.loads(json.dumps(p.to_dict())))``
+        equals ``p`` minus the (deliberately unserialized) wall-clock
+        ``timing`` — the property the result cache depends on.
+        """
+        return cls(
+            params=dict(payload["params"]),
+            success=ProportionEstimate(
+                successes=int(payload["successes"]),
+                trials=int(payload["trials"]),
+            ),
+            mean_rounds=float(payload["mean_rounds"]),
+            mean_overhead=float(payload["mean_overhead"]),
+            extras=dict(payload.get("extras", {})),
+            timing=dict(payload.get("timing", {})),
+        )
 
 
 def _aggregate_batch(
@@ -191,6 +215,57 @@ class SweepSpec:
             seed=seed,
             runner=self.runner,
             observe=self.observe,
+        )
+
+    #: Version of the serialized form.  Bump on any change to the field
+    #: set or meaning; :meth:`from_json` rejects other versions so stale
+    #: payloads (and cache keys built from them) fail loudly.
+    SCHEMA_VERSION = 1
+
+    def to_json(self) -> str:
+        """Canonical JSON for this spec: the fields that shape results.
+
+        Only ``trials`` and ``seed`` appear — ``runner`` and ``observe``
+        are execution knobs the determinism contract makes irrelevant to
+        the numbers, so two specs that differ only there serialize (and
+        cache) identically.  Keys are sorted and separators fixed, so the
+        string is byte-stable and safe to hash.
+        """
+        return json.dumps(
+            {
+                "schema": self.SCHEMA_VERSION,
+                "trials": self.trials,
+                "seed": self.seed,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(
+        cls,
+        payload: str | Mapping[str, Any],
+        *,
+        runner: TrialRunner | None = None,
+        observe: "Observer | None" = None,
+    ) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_json` output (string or dict).
+
+        The execution-only fields are not serialized; pass ``runner=`` /
+        ``observe=`` to attach them to the revived spec.
+        """
+        data = json.loads(payload) if isinstance(payload, str) else payload
+        schema = data.get("schema")
+        if schema != cls.SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"SweepSpec schema {schema!r} is not supported "
+                f"(expected {cls.SCHEMA_VERSION})"
+            )
+        return cls(
+            trials=int(data["trials"]),
+            seed=int(data["seed"]),
+            runner=runner,
+            observe=observe,
         )
 
 

@@ -10,6 +10,10 @@ Commands:
   noise flips) to a JSONL file and/or a terminal summary.
 * ``overhead`` — measure the simulation overhead across a sweep of n and
   fit the Θ(log n) curve.
+* ``sweep`` — the sweep service: ``run``/``resume`` a grid through the
+  content-addressed result cache (checkpointed, kill-safe), ``status``
+  a live run, ``merge`` shard runs, ``gc`` the cache
+  (see :mod:`repro.service.cli`).
 * ``experiments`` — list the benchmark experiments and how to run them.
 
 Every subcommand that runs trials shares the same execution surface
@@ -32,98 +36,21 @@ from typing import Sequence
 from repro import __version__
 from repro.analysis import fit_log, format_table
 from repro.analysis.sweep import SweepSpec, run_sweep_point
-from repro.channels import (
-    BurstNoiseChannel,
-    CorrelatedNoiseChannel,
-    IndependentNoiseChannel,
-    NoiselessChannel,
-    OneSidedNoiseChannel,
-    SuppressionNoiseChannel,
-)
-from repro.parallel import (
-    ChannelSpec,
-    ProtocolExecutor,
-    SimulationExecutor,
-    SimulatorSpec,
-    make_runner,
-)
-from repro.simulation import (
-    ChunkCommitSimulator,
-    HierarchicalSimulator,
-    RepetitionSimulator,
-    RewindSimulator,
-)
-from repro.tasks import (
-    BitExchangeTask,
-    InputSetTask,
-    MaxIdTask,
-    OrTask,
-    ParityTask,
-    PointerChasingTask,
-    SizeEstimateTask,
+from repro.parallel import make_runner
+
+# Task/channel/simulator registries and executor construction live in
+# repro.service.grid — one source of truth shared with the sweep service,
+# so every scenario the CLI can run the service can cache and shard.
+from repro.service.cli import add_sweep_parser
+from repro.service.grid import (
+    CHANNELS as _CHANNEL_SPECS,
+    SIMULATORS as _SIMULATORS,
+    TASKS as _TASKS,
+    make_executor as _make_executor,
+    make_task as _make_task,
 )
 
 __all__ = ["main", "build_parser", "add_common_run_args"]
-
-# Channel registry: name -> ChannelSpec builder.  Specs (not closures) so
-# every subcommand's executor pickles and --workers > 1 actually
-# parallelises; the per-trial seed is injected by ChannelSpec.make.
-_CHANNEL_SPECS = {
-    "noiseless": lambda epsilon: ChannelSpec.of(
-        NoiselessChannel, seed_kwarg=None
-    ),
-    "correlated": lambda epsilon: ChannelSpec.of(
-        CorrelatedNoiseChannel, epsilon
-    ),
-    "one-sided": lambda epsilon: ChannelSpec.of(
-        OneSidedNoiseChannel, epsilon
-    ),
-    "suppression": lambda epsilon: ChannelSpec.of(
-        SuppressionNoiseChannel, epsilon
-    ),
-    "independent": lambda epsilon: ChannelSpec.of(
-        IndependentNoiseChannel, epsilon
-    ),
-    "burst": lambda epsilon: ChannelSpec.of(
-        BurstNoiseChannel.matched_to, epsilon, burst_length=8
-    ),
-}
-
-_SIMULATORS = {
-    "none": None,
-    "repetition": RepetitionSimulator,
-    "chunk": ChunkCommitSimulator,
-    "hierarchical": HierarchicalSimulator,
-    "rewind": RewindSimulator,
-}
-
-
-def _make_executor(task, channel_name: str, epsilon: float, simulator_name: str):
-    """The picklable executor every run subcommand shares."""
-    channel = _CHANNEL_SPECS[channel_name](epsilon)
-    simulator_cls = _SIMULATORS[simulator_name]
-    if simulator_cls is None:
-        return ProtocolExecutor(task=task, channel=channel)
-    return SimulationExecutor(
-        task=task,
-        channel=channel,
-        simulator=SimulatorSpec.of(simulator_cls),
-    )
-
-
-def _make_task(name: str, n: int):
-    factories = {
-        "input-set": lambda: InputSetTask(n),
-        "or": lambda: OrTask(n),
-        "parity": lambda: ParityTask(n),
-        "max-id": lambda: MaxIdTask(n, id_bits=max(4, n.bit_length() + 2)),
-        "bit-exchange": lambda: BitExchangeTask(max(2, n)),
-        "size-estimate": lambda: SizeEstimateTask(n),
-        "pointer-chasing": lambda: PointerChasingTask(
-            depth=max(2, n), domain_bits=3
-        ),
-    }
-    return factories[name]()
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -264,7 +191,7 @@ def _run_overhead(args: argparse.Namespace) -> int:
     runner = make_runner(args.workers)
     try:
         for n in ns:
-            task = InputSetTask(n)
+            task = _make_task("input-set", n)
             # Picklable executor so --workers > 1 can fan trials out to a
             # process pool; results are identical for every worker count.
             executor = _make_executor(
@@ -367,15 +294,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-_TASK_CHOICES = [
-    "input-set",
-    "or",
-    "parity",
-    "max-id",
-    "bit-exchange",
-    "size-estimate",
-    "pointer-chasing",
-]
+_TASK_CHOICES = sorted(_TASKS)
 
 
 def add_common_run_args(
@@ -471,6 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_common_run_args(overhead, trials_default=3)
     _add_profile_arg(overhead, "profile_overhead.pstats")
     overhead.set_defaults(func=cmd_overhead)
+
+    add_sweep_parser(subparsers)
 
     experiments = subparsers.add_parser(
         "experiments", help="list the E1-E13 experiments"

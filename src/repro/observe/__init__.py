@@ -69,6 +69,18 @@ event                     fields
 ``sweep_point``           one per aggregated grid point: the point's
                           ``params``, ``trials``, ``successes``,
                           ``mean_rounds``, ``mean_overhead``
+``cache_hit``             sweep-service result store, one per probed key
+                          found (the point is *not* recomputed): ``key``,
+                          plus ``index`` when the caller supplies it
+``cache_miss``            one per probed key absent or discarded as
+                          corrupt (the point will be computed): ``key``,
+                          optional ``index``
+``cache_put``             one per point checkpointed into the store:
+                          ``key``, optional ``index``
+``sweep_run``             one per resumable-driver call
+                          (:func:`repro.service.run_sweep_resumable`):
+                          ``total``, ``computed``, ``hits``,
+                          ``elapsed_s``
 ========================  ======================================================
 
 Wall-clock fields (``elapsed_s``, ``busy_s``, ``utilization``) vary run

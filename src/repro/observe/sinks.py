@@ -42,6 +42,13 @@ class Sink(ABC):
     def close(self) -> None:
         """Flush and release resources.  Idempotent; default no-op."""
 
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
 
 def _accumulate(
     counters: dict[str, float], record: Mapping[str, Any]
@@ -98,13 +105,32 @@ class MetricsCollector(Sink):
 class JsonlSink(Sink):
     """Write one JSON object per event to a file or stream.
 
+    Built for long-running producers whose output is tailed live (e.g.
+    ``repro sweep status`` watching a resumable sweep): with
+    ``append=True`` the file is opened in line-buffered append mode, and
+    ``flush=True`` additionally flushes after every event, so a reader
+    never sees a truncated JSON line and an interrupted run keeps every
+    event written so far.  The sink is a context manager (like every
+    :class:`Sink`), so ``with JsonlSink(path) as sink: ...`` guarantees
+    the close/flush.
+
     Args:
         target: A path (opened lazily on the first event, closed by
             :meth:`close`) or an already-open text stream (left open —
             the caller owns it).
+        append: Open paths in append mode (``"a"``, line-buffered)
+            instead of truncating; existing events survive a restart.
+        flush: Flush after every event — each line hits the OS as soon
+            as it is emitted, at a small throughput cost.
     """
 
-    def __init__(self, target: str | IO[str]) -> None:
+    def __init__(
+        self,
+        target: str | IO[str],
+        *,
+        append: bool = False,
+        flush: bool = False,
+    ) -> None:
         if hasattr(target, "write"):
             self._stream: IO[str] | None = target  # type: ignore[assignment]
             self._path = None
@@ -112,12 +138,21 @@ class JsonlSink(Sink):
             self._stream = None
             self._path = str(target)
         self._owns_stream = self._path is not None
+        self._append = append
+        self._flush = flush
 
     def handle(self, record: Mapping[str, Any]) -> None:
         if self._stream is None:
             assert self._path is not None
-            self._stream = open(self._path, "w", encoding="utf-8")
+            mode = "a" if self._append else "w"
+            # buffering=1 is line buffering for text files: each complete
+            # line reaches the OS on its own, never a partial JSON object.
+            self._stream = open(
+                self._path, mode, buffering=1, encoding="utf-8"
+            )
         self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+        if self._flush:
+            self._stream.flush()
 
     def close(self) -> None:
         if self._stream is not None:

@@ -1,0 +1,103 @@
+"""Canonical JSON and content-addressed cache keys.
+
+The sweep service caches :class:`~repro.analysis.sweep.SweepPoint`
+results forever, which is only sound because a key *fully determines*
+the bytes it names.  Two layers make that true:
+
+* :func:`canonical_json` — one byte-stable serialization: sorted keys,
+  fixed separators, no NaN/Infinity (their textual forms are not valid
+  JSON and not portable).  Equal values always serialize to equal bytes.
+* :func:`content_key` — BLAKE2b-128 over the canonical bytes.  The same
+  construction :func:`repro.rng.derive_seed` uses for seeds, applied to
+  whole payloads.
+
+**Cache-key contract.**  A sweep point's key (:func:`point_key`) hashes
+the canonical JSON of::
+
+    {kind, schema, repro, spec, workload, index}
+
+where ``spec`` is :meth:`SweepSpec.to_json` (``trials`` + ``seed`` —
+the only spec fields that shape results; runner/observe are excluded by
+construction), ``workload`` describes *what* runs (for grids, the
+:meth:`~repro.service.grid.SweepGrid.workload` payload naming the task,
+channel, epsilon and simulator), ``index`` is the grid-point index whose
+per-point seed is ``derive_seed(seed, f"point[{index}]")``, and ``repro``
+is the package version.  Anything that could change the numbers changes
+the key; anything that cannot (worker counts, observers, wall-clock) is
+kept out.  Invalidation is therefore automatic: bumping the package
+version, the cache schema, the spec schema, or any workload field simply
+addresses fresh keys, and stale objects linger harmlessly until
+``repro sweep gc`` removes them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sweep import SweepSpec
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "canonical_json",
+    "content_key",
+    "point_key",
+]
+
+#: Version of the cache object layout (key payload + stored envelope).
+#: Bump whenever either changes; old objects then become unreachable
+#: (different keys) and unreadable (envelope validation), never silently
+#: misinterpreted.
+CACHE_SCHEMA_VERSION = 1
+
+_KEY_BYTES = 16  # 128-bit keys: collision-free at any realistic scale.
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to byte-stable canonical JSON.
+
+    Sorted keys, compact separators, ``allow_nan=False`` — equal values
+    give equal strings on every platform and Python version, which is
+    what makes hashing them meaningful.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_key(value: Any) -> str:
+    """The content address of a JSON-able value (32 hex chars).
+
+    >>> content_key({"a": 1}) == content_key({"a": 1})
+    True
+    >>> content_key({"a": 1}) != content_key({"a": 2})
+    True
+    """
+    digest = hashlib.blake2b(
+        canonical_json(value).encode("utf-8"), digest_size=_KEY_BYTES
+    )
+    return digest.hexdigest()
+
+
+def point_key(spec: "SweepSpec", workload: Any, index: int) -> str:
+    """The cache key of grid point ``index`` of a sweep.
+
+    See the module docstring for the exact payload.  ``workload`` must be
+    a JSON-able description of what the sweep runs (task, channel,
+    simulator, grid values ...); pass ``None`` only for throwaway caches
+    where the spec alone disambiguates.
+    """
+    import repro
+
+    return content_key(
+        {
+            "kind": "sweep-point",
+            "schema": CACHE_SCHEMA_VERSION,
+            "repro": repro.__version__,
+            "spec": json.loads(spec.to_json()),
+            "workload": workload,
+            "index": int(index),
+        }
+    )

@@ -1,0 +1,341 @@
+"""The ``repro sweep`` command group: the sweep service from a shell.
+
+Verbs (all sharing the grid flags ``--task/--ns/--channel/--epsilon/
+--simulator/--trials/--seed`` plus ``--cache-dir``):
+
+* ``run``    — run the sweep through the result cache, checkpointing
+  every completed point; safe to kill at any instant.
+* ``resume`` — alias of ``run`` (a re-run *is* the resume: cached points
+  are skipped, only the remainder computes).
+* ``status`` — probe which points are checkpointed, without touching
+  counters; tails a live run's ``--events`` JSONL when given.
+* ``merge``  — validate completeness and write the full ordered result
+  (use after k shard runs against a shared cache dir).
+* ``gc``     — delete cache objects no run manifest references, and reap
+  stale temp files.
+
+``--shard J/K`` restricts a run to stripe J of a K-way
+:func:`~repro.service.shards.plan_shards` plan; ``--events FILE``
+streams observe events (trials, cache hits/misses, per-point summaries)
+to line-buffered, flush-per-event JSONL so ``status``/``tail -f`` never
+see a torn line; ``--json`` prints a machine-readable summary (the CI
+smoke job asserts ``computed == 0`` on a warm re-run from it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.errors import ConfigurationError, ReproError
+from repro.observe import JsonlSink, MetricsCollector, Observer, read_jsonl
+from repro.parallel import make_runner, use_runner
+from repro.service.driver import run_sweep_resumable, sweep_status
+from repro.service.grid import CHANNELS, SIMULATORS, TASKS, SweepGrid
+from repro.service.shards import merge_sweep, plan_shards
+from repro.service.store import ResultStore
+
+__all__ = ["add_sweep_parser"]
+
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task", choices=sorted(TASKS), default="input-set")
+    parser.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=[4, 8],
+        help="party counts, one grid point each",
+    )
+    parser.add_argument(
+        "--channel", choices=sorted(CHANNELS), default="correlated"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument(
+        "--simulator", choices=sorted(SIMULATORS), default="chunk"
+    )
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"content-addressed result cache (default: {_DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary to stdout",
+    )
+
+
+def _grid_from_args(args: argparse.Namespace) -> SweepGrid:
+    return SweepGrid(
+        task=args.task,
+        ns=tuple(args.ns),
+        channel=args.channel,
+        epsilon=args.epsilon,
+        simulator=args.simulator,
+        trials=args.trials,
+        seed=args.seed,
+    )
+
+
+def _parse_shard(text: str, total: int) -> tuple[int, int]:
+    """Parse ``"J/K"`` and bounds-check against the grid size."""
+    try:
+        shard_text, of_text = text.split("/", 1)
+        shard, of = int(shard_text), int(of_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--shard wants J/K (e.g. 0/3), got {text!r}"
+        ) from None
+    if not 0 <= shard < of:
+        raise ConfigurationError(
+            f"--shard {text}: shard index must be in [0, {of})"
+        )
+    if of > total:
+        raise ConfigurationError(
+            f"--shard {text}: only {total} grid points to split"
+        )
+    return shard, of
+
+
+def _print_summary(summary: dict[str, Any], args: argparse.Namespace, human: str) -> None:
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(human)
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.cache_dir)
+    collector = MetricsCollector()
+    sinks: list[Any] = [collector]
+    if args.events:
+        sinks.append(JsonlSink(args.events, append=True, flush=True))
+    observer = Observer(sinks)
+
+    indices = None
+    shard_label = ""
+    if args.shard:
+        shard, of = _parse_shard(args.shard, grid.total_points)
+        indices = plan_shards(grid.total_points, of)[shard].indices
+        shard_label = f" (shard {shard}/{of}: indices {list(indices)})"
+
+    store.write_manifest(
+        grid.grid_key(),
+        {
+            "schema": 1,
+            "grid": grid.workload(),
+            "total": grid.total_points,
+        },
+    )
+    runner = make_runner(args.workers)
+    try:
+        with use_runner(runner):
+            points = run_sweep_resumable(
+                grid.ns,
+                grid.build_point,
+                grid.spec(observe=observer),
+                store=store,
+                workload=grid.workload(),
+                indices=indices,
+            )
+    finally:
+        runner.close()
+        observer.close()
+
+    hits = collector.count("cache_hit")
+    computed = collector.count("cache_miss")
+    summary = {
+        "grid": grid.grid_key(),
+        "cache_dir": str(store.root),
+        "points": len(points),
+        "computed": computed,
+        "hits": hits,
+        "shard": args.shard or None,
+    }
+    _print_summary(
+        summary,
+        args,
+        f"sweep {grid.grid_key()[:12]}: {len(points)} point(s), "
+        f"computed {computed}, cache hits {hits}{shard_label}",
+    )
+    if not args.json:
+        for point in points:
+            print(
+                f"  n={point.params.get('n'):>4}  "
+                f"success={point.success.value:.3f}  "
+                f"overhead=x{point.mean_overhead:.1f}"
+            )
+    if args.output:
+        payload = {
+            "schema": 1,
+            "grid": grid.workload(),
+            "points": [point.to_dict() for point in points],
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.cache_dir)
+    status = sweep_status(
+        grid.spec(), grid.workload(), grid.total_points, store
+    )
+    summary: dict[str, Any] = {
+        "grid": grid.grid_key(),
+        "cache_dir": str(store.root),
+        **status,
+    }
+    if args.events:
+        try:
+            with open(args.events, encoding="utf-8") as handle:
+                events = read_jsonl(handle)
+        except OSError:
+            events = []
+        counts: dict[str, int] = {}
+        for record in events:
+            name = record.get("event", "?")
+            counts[name] = counts.get(name, 0) + 1
+        summary["events"] = counts
+    complete = status["done"] == status["total"]
+    human = (
+        f"sweep {grid.grid_key()[:12]}: {status['done']}/{status['total']} "
+        f"point(s) checkpointed"
+        + ("" if complete else f", missing {status['missing']}")
+    )
+    if args.events and not args.json:
+        human += f"\n  events: {summary.get('events', {})}"
+    _print_summary(summary, args, human)
+    return 0 if complete else 1
+
+
+def cmd_sweep_merge(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.cache_dir)
+    try:
+        points = merge_sweep(
+            grid.spec(), grid.workload(), grid.total_points, store
+        )
+    except ConfigurationError as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    payload = {
+        "schema": 1,
+        "grid": grid.workload(),
+        "points": [point.to_dict() for point in points],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    _print_summary(
+        {
+            "grid": grid.grid_key(),
+            "points": len(points),
+            "output": args.output,
+        },
+        args,
+        f"merged {len(points)} point(s) -> {args.output}",
+    )
+    return 0
+
+
+def cmd_sweep_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    keep: set[str] = set()
+    manifests = store.manifests()
+    for payload in manifests.values():
+        try:
+            grid = SweepGrid.from_json(payload["grid"])
+        except (ReproError, KeyError, TypeError, ValueError):
+            continue  # unreadable manifest: its objects are unreferenced
+        keep.update(grid.point_key(i) for i in range(grid.total_points))
+    stats = store.gc(keep)
+    summary = {
+        "cache_dir": str(store.root),
+        "manifests": len(manifests),
+        **stats,
+    }
+    _print_summary(
+        summary,
+        args,
+        f"gc: removed {stats['removed']} object(s), kept {stats['kept']}, "
+        f"reaped {stats['tmp_removed']} temp file(s) "
+        f"({len(manifests)} manifest(s))",
+    )
+    return 0
+
+
+def add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``sweep`` command group on the root CLI parser."""
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="resumable, cached, sharded sweeps (the sweep service)",
+    )
+    verbs = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    for name, help_text in (
+        ("run", "run a sweep through the result cache (kill-safe)"),
+        ("resume", "alias of run: cached points skip, the rest computes"),
+    ):
+        verb = verbs.add_parser(name, help=help_text)
+        _add_grid_args(verb)
+        verb.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="trial-runner workers (results identical for any count)",
+        )
+        verb.add_argument(
+            "--shard",
+            metavar="J/K",
+            help="run only stripe J of a K-way shard plan",
+        )
+        verb.add_argument(
+            "--events",
+            metavar="FILE",
+            help="stream observe events (JSONL, append + flush-per-event)",
+        )
+        verb.add_argument(
+            "-o", "--output", help="also write the points as JSON here"
+        )
+        verb.set_defaults(func=cmd_sweep_run)
+
+    status = verbs.add_parser(
+        "status", help="how many points are checkpointed (exit 1 if incomplete)"
+    )
+    _add_grid_args(status)
+    status.add_argument(
+        "--events", metavar="FILE", help="also summarize this events JSONL"
+    )
+    status.set_defaults(func=cmd_sweep_status)
+
+    merge = verbs.add_parser(
+        "merge", help="validate completeness and write the merged results"
+    )
+    _add_grid_args(merge)
+    merge.add_argument(
+        "-o", "--output", required=True, help="merged results JSON file"
+    )
+    merge.set_defaults(func=cmd_sweep_merge)
+
+    gc = verbs.add_parser(
+        "gc", help="drop cache objects no run manifest references"
+    )
+    gc.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    gc.add_argument("--json", action="store_true")
+    gc.set_defaults(func=cmd_sweep_gc)

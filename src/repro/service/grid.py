@@ -1,0 +1,277 @@
+"""Declarative sweep grids: the serializable "what runs" of a sweep.
+
+:func:`repro.analysis.sweep.run_sweep` takes a ``point_builder``
+*callable*, which is perfect for programmatic use and useless for a
+service — a callable cannot be hashed into a cache key, written into a
+shard file, or reconstructed by ``repro sweep resume`` in a fresh
+process.  :class:`SweepGrid` is the declarative equivalent: task,
+channel, epsilon, simulator and the n-grid as plain data, with canonical
+JSON round-tripping (:meth:`SweepGrid.to_json` / :meth:`SweepGrid.from_json`)
+and a content address (:meth:`SweepGrid.grid_key`).
+
+The task/channel/simulator registries here are the single source of
+truth shared with the CLI (``repro demo``/``trace``/``overhead`` resolve
+names through the same tables), so every scenario the CLI can run, the
+sweep service can cache and shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import json
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
+    from repro.parallel import TrialRunner
+
+from repro.analysis.sweep import Executor, SweepSpec
+from repro.channels import (
+    BurstNoiseChannel,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    ChannelSpec,
+    ProtocolExecutor,
+    SimulationExecutor,
+    SimulatorSpec,
+)
+from repro.service.canon import canonical_json, content_key, point_key
+from repro.simulation import (
+    ChunkCommitSimulator,
+    HierarchicalSimulator,
+    RepetitionSimulator,
+    RewindSimulator,
+)
+from repro.tasks import (
+    BitExchangeTask,
+    InputSetTask,
+    MaxIdTask,
+    OrTask,
+    ParityTask,
+    PointerChasingTask,
+    SizeEstimateTask,
+)
+from repro.tasks.base import Task
+
+__all__ = [
+    "CHANNELS",
+    "SIMULATORS",
+    "TASKS",
+    "make_task",
+    "make_executor",
+    "SweepGrid",
+]
+
+# Channel registry: name -> ChannelSpec builder.  Specs (not closures) so
+# every executor pickles and ``--workers`` > 1 actually parallelises; the
+# per-trial seed is injected by ChannelSpec.make.
+CHANNELS: dict[str, Callable[[float], ChannelSpec]] = {
+    "noiseless": lambda epsilon: ChannelSpec.of(
+        NoiselessChannel, seed_kwarg=None
+    ),
+    "correlated": lambda epsilon: ChannelSpec.of(
+        CorrelatedNoiseChannel, epsilon
+    ),
+    "one-sided": lambda epsilon: ChannelSpec.of(
+        OneSidedNoiseChannel, epsilon
+    ),
+    "suppression": lambda epsilon: ChannelSpec.of(
+        SuppressionNoiseChannel, epsilon
+    ),
+    "independent": lambda epsilon: ChannelSpec.of(
+        IndependentNoiseChannel, epsilon
+    ),
+    "burst": lambda epsilon: ChannelSpec.of(
+        BurstNoiseChannel.matched_to, epsilon, burst_length=8
+    ),
+}
+
+SIMULATORS: dict[str, Any] = {
+    "none": None,
+    "repetition": RepetitionSimulator,
+    "chunk": ChunkCommitSimulator,
+    "hierarchical": HierarchicalSimulator,
+    "rewind": RewindSimulator,
+}
+
+TASKS: dict[str, Callable[[int], Task]] = {
+    "input-set": lambda n: InputSetTask(n),
+    "or": lambda n: OrTask(n),
+    "parity": lambda n: ParityTask(n),
+    "max-id": lambda n: MaxIdTask(n, id_bits=max(4, n.bit_length() + 2)),
+    "bit-exchange": lambda n: BitExchangeTask(max(2, n)),
+    "size-estimate": lambda n: SizeEstimateTask(n),
+    "pointer-chasing": lambda n: PointerChasingTask(
+        depth=max(2, n), domain_bits=3
+    ),
+}
+
+
+def make_task(name: str, n: int) -> Task:
+    """Build the named task at party count ``n``."""
+    try:
+        factory = TASKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown task {name!r} (choose from {sorted(TASKS)})"
+        ) from None
+    return factory(n)
+
+
+def make_executor(
+    task: Task, channel: str, epsilon: float, simulator: str
+) -> Executor:
+    """The picklable executor every run entry point shares."""
+    try:
+        channel_spec = CHANNELS[channel](epsilon)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown channel {channel!r} (choose from {sorted(CHANNELS)})"
+        ) from None
+    try:
+        simulator_cls = SIMULATORS[simulator]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown simulator {simulator!r} "
+            f"(choose from {sorted(SIMULATORS)})"
+        ) from None
+    if simulator_cls is None:
+        return ProtocolExecutor(task=task, channel=channel_spec)
+    return SimulationExecutor(
+        task=task,
+        channel=channel_spec,
+        simulator=SimulatorSpec.of(simulator_cls),
+    )
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A fully declarative sweep: scenario + n-grid + execution knobs.
+
+    Everything that shapes the numbers, as plain data — so the whole
+    sweep serializes canonically (:meth:`to_json`), revives in another
+    process (:meth:`from_json`), and addresses its cached points
+    (:meth:`point_key`).  Runner/observer choices are deliberately *not*
+    part of a grid: they cannot change results.
+
+    Attributes:
+        task: Task registry name (see :data:`TASKS`).
+        ns: Party counts, one grid point each (order is identity: the
+            same values in a different order is a different sweep).
+        channel: Channel registry name (see :data:`CHANNELS`).
+        epsilon: Channel noise rate.
+        simulator: Simulator registry name; ``"none"`` runs the raw
+            noiseless protocol over the noisy channel.
+        trials: Trials per grid point.
+        seed: Master seed (point ``i`` derives
+            ``derive_seed(seed, f"point[{i}]")``).
+    """
+
+    SCHEMA_VERSION = 1
+
+    task: str = "input-set"
+    ns: tuple[int, ...] = (4, 8)
+    channel: str = "correlated"
+    epsilon: float = 0.1
+    simulator: str = "chunk"
+    trials: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ns", tuple(int(n) for n in self.ns))
+        if not self.ns:
+            raise ConfigurationError("SweepGrid needs at least one n")
+        if any(n < 1 for n in self.ns):
+            raise ConfigurationError(f"party counts must be >= 1: {self.ns}")
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials}"
+            )
+        for registry, name, kind in (
+            (TASKS, self.task, "task"),
+            (CHANNELS, self.channel, "channel"),
+            (SIMULATORS, self.simulator, "simulator"),
+        ):
+            if name not in registry:
+                raise ConfigurationError(
+                    f"unknown {kind} {name!r} "
+                    f"(choose from {sorted(registry)})"
+                )
+
+    @property
+    def total_points(self) -> int:
+        """How many grid points this sweep has."""
+        return len(self.ns)
+
+    def spec(
+        self,
+        runner: "TrialRunner | None" = None,
+        observe: "Observer | None" = None,
+    ) -> SweepSpec:
+        """The :class:`SweepSpec` this grid runs under."""
+        return SweepSpec(
+            trials=self.trials, seed=self.seed, runner=runner, observe=observe
+        )
+
+    def build_point(self, n: int) -> tuple[Task, Executor, dict[str, Any]]:
+        """The ``point_builder`` contract for one grid value."""
+        task = make_task(self.task, n)
+        executor = make_executor(task, self.channel, self.epsilon, self.simulator)
+        return task, executor, {"n": n, "epsilon": self.epsilon}
+
+    # -- serialization / addressing -------------------------------------
+
+    def workload(self) -> dict[str, Any]:
+        """The canonical JSON-able description hashed into cache keys."""
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "task": self.task,
+            "ns": list(self.ns),
+            "channel": self.channel,
+            "epsilon": self.epsilon,
+            "simulator": self.simulator,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, byte-stable) for this grid."""
+        return canonical_json(self.workload())
+
+    @classmethod
+    def from_json(cls, payload: str | dict[str, Any]) -> "SweepGrid":
+        """Rebuild a grid from :meth:`to_json` output (string or dict)."""
+        data = json.loads(payload) if isinstance(payload, str) else payload
+        schema = data.get("schema")
+        if schema != cls.SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"SweepGrid schema {schema!r} is not supported "
+                f"(expected {cls.SCHEMA_VERSION})"
+            )
+        return cls(
+            task=str(data["task"]),
+            ns=tuple(int(n) for n in data["ns"]),
+            channel=str(data["channel"]),
+            epsilon=float(data["epsilon"]),
+            simulator=str(data["simulator"]),
+            trials=int(data["trials"]),
+            seed=int(data["seed"]),
+        )
+
+    def grid_key(self) -> str:
+        """The content address of the whole sweep (names manifests)."""
+        return content_key(self.workload())
+
+    def point_key(self, index: int) -> str:
+        """The cache key of grid point ``index``."""
+        if not 0 <= index < self.total_points:
+            raise ConfigurationError(
+                f"point index {index} outside [0, {self.total_points})"
+            )
+        return point_key(self.spec(), self.workload(), index)

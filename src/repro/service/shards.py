@@ -1,0 +1,135 @@
+"""Shard planning and merging: split one sweep across k workers/machines.
+
+A shard is just a subset of *global* point indices — because per-point
+seeds and cache keys are functions of the global index alone, k disjoint
+shard runs against a shared (or later-merged) cache directory produce
+exactly the points one cold :func:`~repro.analysis.sweep.run_sweep`
+would.  The planner cuts contiguous, balanced stripes;
+:func:`validate_shards` proves a plan disjoint and complete before
+anything runs; :func:`merge_sweep` assembles the full ordered result from
+the store afterwards, failing loudly (with the missing indices) if any
+shard has not finished.
+
+Shard execution routes through the ordinary runner registry: run each
+shard under :func:`repro.parallel.use_runner` (or pass ``runner=`` on the
+spec) to pick serial/process-pool per shard — ``repro sweep run --shard
+j/k --workers w`` composes both levels of parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.sweep import SweepPoint, SweepSpec
+from repro.errors import ConfigurationError
+from repro.service.canon import point_key
+from repro.service.store import ResultStore
+
+__all__ = ["ShardSpec", "plan_shards", "validate_shards", "merge_sweep"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One planned shard: ``indices`` of the global grid, ``shard``/``of``."""
+
+    shard: int
+    of: int
+    indices: tuple[int, ...]
+
+
+def plan_shards(total: int, count: int) -> list[ShardSpec]:
+    """Split ``total`` grid points into ``count`` contiguous stripes.
+
+    Stripes are balanced (sizes differ by at most one) and cover
+    ``range(total)`` exactly.  ``count`` must be in ``[1, total]`` — an
+    empty shard is always a planning mistake.
+    """
+    if total < 1:
+        raise ConfigurationError(f"total must be >= 1, got {total}")
+    if not 1 <= count <= total:
+        raise ConfigurationError(
+            f"shard count must be in [1, {total}], got {count}"
+        )
+    base, extra = divmod(total, count)
+    shards: list[ShardSpec] = []
+    start = 0
+    for shard in range(count):
+        size = base + (1 if shard < extra else 0)
+        shards.append(
+            ShardSpec(
+                shard=shard,
+                of=count,
+                indices=tuple(range(start, start + size)),
+            )
+        )
+        start += size
+    return shards
+
+
+def validate_shards(shards: list[ShardSpec], total: int) -> None:
+    """Prove a shard plan disjoint and complete for a ``total``-point grid.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the first
+    violation: inconsistent ``of`` fields, duplicate shard ids,
+    overlapping indices, or gaps.
+    """
+    if not shards:
+        raise ConfigurationError("empty shard plan")
+    count = len(shards)
+    seen_ids = set()
+    seen_indices: set[int] = set()
+    for shard in shards:
+        if shard.of != count:
+            raise ConfigurationError(
+                f"shard {shard.shard} claims of={shard.of}, "
+                f"but the plan has {count} shards"
+            )
+        if shard.shard in seen_ids:
+            raise ConfigurationError(f"duplicate shard id {shard.shard}")
+        seen_ids.add(shard.shard)
+        overlap = seen_indices.intersection(shard.indices)
+        if overlap:
+            raise ConfigurationError(
+                f"shard {shard.shard} overlaps earlier shards on "
+                f"indices {sorted(overlap)}"
+            )
+        seen_indices.update(shard.indices)
+    if seen_indices != set(range(total)):
+        missing = sorted(set(range(total)) - seen_indices)
+        extra = sorted(seen_indices - set(range(total)))
+        raise ConfigurationError(
+            f"shard plan does not cover the grid exactly: "
+            f"missing {missing}, extra {extra}"
+        )
+
+
+def merge_sweep(
+    spec: SweepSpec,
+    workload: Any,
+    total: int,
+    store: ResultStore,
+) -> list[SweepPoint]:
+    """Assemble the full ordered sweep result from the store.
+
+    The merge *is* the completeness check: every global index must have a
+    valid cached point, else a :class:`~repro.errors.ConfigurationError`
+    lists the missing indices (a shard that never ran, or objects lost to
+    corruption/gc).  Returns points in index order — bitwise what a cold
+    ``run_sweep`` returns.
+    """
+    points: list[SweepPoint] = []
+    missing: list[int] = []
+    for index in range(total):
+        point = store.get(point_key(spec, workload, index), index=index)
+        if point is None:
+            missing.append(index)
+        else:
+            points.append(point)
+    if missing:
+        raise ConfigurationError(
+            f"sweep incomplete: missing point indices {missing} "
+            f"({len(missing)}/{total}); run the remaining shards "
+            "or `repro sweep resume` first"
+        )
+    return points

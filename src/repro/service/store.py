@@ -1,0 +1,239 @@
+"""The content-addressed result store: persisted ``SweepPoint`` objects.
+
+Layout under the cache directory::
+
+    <root>/
+      objects/<key[:2]>/<key>.json   one SweepPoint envelope per key
+      runs/<grid-key>.json           manifests: which sweeps wrote here
+
+Every write is **atomic**: the envelope is written to a dot-prefixed
+temporary file in the final directory, fsynced, then ``os.replace``d into
+place — a reader (or a crash at any instant) sees either the complete
+previous state or the complete new one, never a torn file.  Reads are
+**self-healing**: an envelope that fails to parse or fails validation
+(wrong embedded key, wrong schema) is deleted and reported as a miss, so
+a corrupted cache degrades to recomputation instead of wrong answers.
+
+The store keeps hit/miss/put counters (:attr:`ResultStore.counters`) and
+mirrors them into the :mod:`repro.observe` event stream — ``cache_hit``,
+``cache_miss``, ``cache_put`` — when callers pass an observer, so a live
+``repro sweep run`` can stream cache behaviour to JSONL alongside the
+trial events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Collection, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
+
+from repro.analysis.sweep import SweepPoint
+from repro.service.canon import CACHE_SCHEMA_VERSION, canonical_json
+
+__all__ = ["ResultStore"]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp-file + fsync + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".tmp-{path.name}-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """Content-addressed, crash-safe persistence for sweep points.
+
+    Args:
+        root: The cache directory (created lazily on first write).
+
+    Attributes:
+        counters: ``{"hits", "misses", "puts", "invalid"}`` — cumulative
+            over this instance's lifetime.  ``invalid`` counts corrupted
+            envelopes that were discarded (each also counts as a miss).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.counters: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "invalid": 0,
+        }
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def object_path(self, key: str) -> Path:
+        """Where the envelope for ``key`` lives (existing or not)."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- observe plumbing ----------------------------------------------
+
+    @staticmethod
+    def _emit(
+        observe: "Observer | None",
+        event: str,
+        key: str,
+        index: int | None,
+    ) -> None:
+        if observe is not None and observe.enabled:
+            if index is None:
+                observe.emit(event, key=key)
+            else:
+                observe.emit(event, key=key, index=index)
+
+    # -- object access --------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether an envelope for ``key`` exists (no counters touched).
+
+        A pure probe for status displays; it does not validate the
+        envelope — :meth:`get` does, on the path that matters.
+        """
+        return self.object_path(key).is_file()
+
+    def get(
+        self,
+        key: str,
+        *,
+        observe: "Observer | None" = None,
+        index: int | None = None,
+    ) -> SweepPoint | None:
+        """The cached point under ``key``, or ``None`` on a miss.
+
+        Corrupted or mismatched envelopes are deleted (self-healing) and
+        reported as misses.
+        """
+        path = self.object_path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            self._emit(observe, "cache_miss", key, index)
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            data = None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != CACHE_SCHEMA_VERSION
+            or data.get("key") != key
+            or "point" not in data
+        ):
+            # Torn write, truncation, or foreign file: discard and
+            # recompute rather than trust it.
+            path.unlink(missing_ok=True)
+            self.counters["invalid"] += 1
+            self.counters["misses"] += 1
+            self._emit(observe, "cache_miss", key, index)
+            return None
+        self.counters["hits"] += 1
+        self._emit(observe, "cache_hit", key, index)
+        return SweepPoint.from_dict(data["point"])
+
+    def put(
+        self,
+        key: str,
+        point: SweepPoint,
+        *,
+        meta: Mapping[str, Any] | None = None,
+        observe: "Observer | None" = None,
+        index: int | None = None,
+    ) -> Path:
+        """Persist ``point`` under ``key`` atomically; returns the path.
+
+        The envelope stores :meth:`SweepPoint.to_dict` (timing excluded —
+        cached results must be backend- and wall-clock-independent) plus
+        free-form ``meta`` that never participates in addressing.
+        """
+        path = self.object_path(key)
+        envelope = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "meta": dict(meta or {}),
+            "point": point.to_dict(),
+        }
+        _atomic_write_text(path, canonical_json(envelope))
+        self.counters["puts"] += 1
+        self._emit(observe, "cache_put", key, index)
+        return path
+
+    def keys(self) -> Iterator[str]:
+        """Every key with a (syntactically) present envelope."""
+        if not self.objects_dir.is_dir():
+            return
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for entry in sorted(bucket.glob("*.json")):
+                if not entry.name.startswith("."):
+                    yield entry.stem
+
+    # -- run manifests --------------------------------------------------
+
+    def write_manifest(self, grid_key: str, payload: Mapping[str, Any]) -> Path:
+        """Record that a sweep (named by its grid key) uses this cache."""
+        path = self.runs_dir / f"{grid_key}.json"
+        _atomic_write_text(path, canonical_json(dict(payload)))
+        return path
+
+    def manifests(self) -> dict[str, dict[str, Any]]:
+        """All readable manifests, keyed by grid key (corrupt ones skipped)."""
+        found: dict[str, dict[str, Any]] = {}
+        if not self.runs_dir.is_dir():
+            return found
+        for entry in sorted(self.runs_dir.glob("*.json")):
+            if entry.name.startswith("."):
+                continue
+            try:
+                payload = json.loads(entry.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(payload, dict):
+                found[entry.stem] = payload
+        return found
+
+    # -- garbage collection ---------------------------------------------
+
+    def gc(self, keep: Collection[str]) -> dict[str, int]:
+        """Delete objects whose key is not in ``keep``; reap stale tmps.
+
+        Returns ``{"removed", "kept", "tmp_removed"}``.  Manifests are
+        never touched — compute ``keep`` from them (the CLI's ``sweep
+        gc`` does) or pass an explicit keep-set.
+        """
+        keep_set = set(keep)
+        removed = kept = tmp_removed = 0
+        if self.objects_dir.is_dir():
+            for bucket in list(self.objects_dir.iterdir()):
+                if not bucket.is_dir():
+                    continue
+                for entry in list(bucket.iterdir()):
+                    if entry.name.startswith(".tmp-"):
+                        # Staging left behind by a crash mid-write.
+                        entry.unlink(missing_ok=True)
+                        tmp_removed += 1
+                    elif entry.suffix == ".json":
+                        if entry.stem in keep_set:
+                            kept += 1
+                        else:
+                            entry.unlink(missing_ok=True)
+                            removed += 1
+                if not any(bucket.iterdir()):
+                    bucket.rmdir()
+        return {"removed": removed, "kept": kept, "tmp_removed": tmp_removed}

@@ -192,3 +192,132 @@ class TestExperiments:
         for identifier in [f"E{i}" for i in range(1, 14)]:
             assert identifier in out
         assert "--benchmark-only" in out
+
+
+class TestSweepService:
+    """The ``repro sweep`` verbs, end to end through ``main``."""
+
+    GRID = [
+        "--task",
+        "parity",
+        "--ns",
+        "3",
+        "4",
+        "--trials",
+        "2",
+        "--seed",
+        "5",
+    ]
+
+    def run_verb(self, verb, tmp_path, *extra):
+        return main(
+            ["sweep", verb, *self.GRID, "--cache-dir", str(tmp_path / "cache")]
+            + list(extra)
+        )
+
+    def json_out(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+
+    def test_run_then_warm_rerun_all_hits(self, tmp_path, capsys):
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        cold = self.json_out(capsys)
+        assert cold["computed"] == 2 and cold["hits"] == 0
+
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        warm = self.json_out(capsys)
+        # The acceptance criterion: zero recomputed points on re-run.
+        assert warm["computed"] == 0
+        assert warm["hits"] == warm["points"] == 2
+
+    def test_resume_is_run_alias(self, tmp_path, capsys):
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        self.json_out(capsys)
+        assert self.run_verb("resume", tmp_path, "--json") == 0
+        assert self.json_out(capsys)["computed"] == 0
+
+    def test_status_incomplete_then_complete(self, tmp_path, capsys):
+        assert self.run_verb("run", tmp_path, "--shard", "0/2", "--json") == 0
+        self.json_out(capsys)
+        assert self.run_verb("status", tmp_path, "--json") == 1
+        partial = self.json_out(capsys)
+        assert partial["done"] == 1 and partial["missing"] == [1]
+
+        assert self.run_verb("run", tmp_path, "--shard", "1/2", "--json") == 0
+        self.json_out(capsys)
+        assert self.run_verb("status", tmp_path, "--json") == 0
+        assert self.json_out(capsys)["done"] == 2
+
+    def test_merge_requires_completeness(self, tmp_path, capsys):
+        out_file = str(tmp_path / "merged.json")
+        assert self.run_verb("run", tmp_path, "--shard", "0/2", "--json") == 0
+        self.json_out(capsys)
+        assert self.run_verb("merge", tmp_path, "-o", out_file) == 1
+        assert "missing" in capsys.readouterr().err
+
+        assert self.run_verb("run", tmp_path, "--shard", "1/2", "--json") == 0
+        self.json_out(capsys)
+        assert self.run_verb("merge", tmp_path, "-o", out_file, "--json") == 0
+        assert self.json_out(capsys)["points"] == 2
+
+        import json
+
+        with open(out_file, encoding="utf-8") as handle:
+            merged = json.load(handle)
+        assert len(merged["points"]) == 2
+        assert merged["grid"]["task"] == "parity"
+
+    def test_events_stream_and_status_summary(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert self.run_verb("run", tmp_path, "--events", events) == 0
+        capsys.readouterr()
+        code = self.run_verb(
+            "status", tmp_path, "--events", events, "--json"
+        )
+        assert code == 0
+        summary = self.json_out(capsys)
+        assert summary["events"]["cache_put"] == 2
+        assert summary["events"]["trial"] == 4  # 2 points x 2 trials
+
+    def test_gc_drops_unreferenced_objects(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        self.json_out(capsys)
+        # Remove the manifest: the objects become unreferenced.
+        import pathlib
+
+        for manifest in pathlib.Path(cache, "runs").glob("*.json"):
+            manifest.unlink()
+        assert main(["sweep", "gc", "--cache-dir", cache, "--json"]) == 0
+        stats = self.json_out(capsys)
+        assert stats["removed"] == 2
+
+    def test_gc_keeps_referenced_objects(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        self.json_out(capsys)
+        assert main(["sweep", "gc", "--cache-dir", cache, "--json"]) == 0
+        stats = self.json_out(capsys)
+        assert stats["removed"] == 0 and stats["kept"] == 2
+        # ... and the cached points still serve a warm run.
+        assert self.run_verb("run", tmp_path, "--json") == 0
+        assert self.json_out(capsys)["computed"] == 0
+
+    def test_bad_shard_spec_rejected(self, tmp_path):
+        import pytest
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            self.run_verb("run", tmp_path, "--shard", "2/2")
+        with pytest.raises(ConfigurationError):
+            self.run_verb("run", tmp_path, "--shard", "nope")
+
+    def test_output_writes_points(self, tmp_path, capsys):
+        out_file = str(tmp_path / "points.json")
+        assert self.run_verb("run", tmp_path, "-o", out_file) == 0
+        import json
+
+        with open(out_file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert [p["params"]["n"] for p in payload["points"]] == [3, 4]

@@ -154,6 +154,63 @@ class TestSinkRoundTrip:
         assert "rounds" in rendered
 
 
+class TestJsonlSinkLongRunning:
+    """The long-running-producer contract: append mode, flush-on-event,
+    context-manager close — a live ``repro sweep status`` must be able
+    to tail the file without ever seeing a truncated JSON line."""
+
+    def test_append_mode_preserves_existing_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.handle({"event": "before", "run": 1})
+        # A resumed run reopens the same file; append keeps history.
+        with JsonlSink(str(path), append=True) as sink:
+            sink.handle({"event": "after", "run": 2})
+        with open(path, encoding="utf-8") as handle:
+            events = [record["event"] for record in read_jsonl(handle)]
+        assert events == ["before", "after"]
+
+    def test_truncate_mode_still_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for run in (1, 2):
+            with JsonlSink(str(path)) as sink:
+                sink.handle({"event": "only", "run": run})
+        with open(path, encoding="utf-8") as handle:
+            records = read_jsonl(handle)
+        assert [record["run"] for record in records] == [2]
+
+    def test_flush_on_event_is_tailable_mid_run(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), append=True, flush=True)
+        try:
+            for index in range(3):
+                sink.handle({"event": "tick", "index": index})
+                # Read back *without* closing the writer: every line on
+                # disk is complete JSON at every instant.
+                with open(path, encoding="utf-8") as handle:
+                    records = read_jsonl(handle)
+                assert [record["index"] for record in records] == list(
+                    range(index + 1)
+                )
+        finally:
+            sink.close()
+
+    def test_sink_is_a_context_manager(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.handle({"event": "x"})
+        # close() ran on exit: the stream is released and reusable state
+        # reset, so a fresh append-mode open sees the flushed line.
+        with open(path, encoding="utf-8") as handle:
+            assert len(read_jsonl(handle)) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "events.jsonl"))
+        sink.handle({"event": "x"})
+        sink.close()
+        sink.close()
+
+
 class TestEngineEvents:
     def test_protocol_run_summary_matches_result(self):
         task = ParityTask(4)
