@@ -8,6 +8,29 @@ Each experiment Ek (see DESIGN.md §3) is a pytest-benchmark test that
 3. calls :func:`emit` to print the table and persist it under
    ``benchmarks/results/<id>.txt`` — the artifacts EXPERIMENTS.md quotes;
 4. asserts the paper-predicted *shape* (slopes, crossovers, who wins).
+
+Layout of ``benchmarks/results/`` (everything lives flat in this one
+directory; nothing here is read back by the package at runtime):
+
+* ``eN.txt`` — one rendered result table per experiment, written by
+  :func:`emit`; quoted verbatim in EXPERIMENTS.md.
+* ``BENCH_engine.json`` — fast-path vs seed-loop engine throughput
+  (``bench_micro.py``), with the frozen legacy loop as drift anchor.
+* ``BENCH_simulation.json`` — scalar token vs dense simulation
+  throughput (``bench_micro.py --simulation``), dense path as anchor.
+* ``BENCH_vectorized.json`` — trial-batched vectorized backend vs the
+  scalar token engine (``bench_micro.py --vectorized``), token path as
+  anchor.
+* ``BENCH_sweep_cache.json`` — cold/warm sweep-service rates, written by
+  CI's sweep-service smoke job.
+
+The ``BENCH_*.json`` files share one schema convention: a ``results``
+list of per-config entries, each carrying the guarded rate, an anchor
+rate measured in the same process, and their ratio.  Regression floors
+(``--compare``/``--tolerance``) are drift-normalized — scaled by the
+anchor's measured/reference ratio, clamped to at most 1 — so a slow CI
+machine lowers the floor but a change that slows only the guarded path
+does not.
 """
 
 from __future__ import annotations

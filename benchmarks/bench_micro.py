@@ -25,6 +25,13 @@ n ∈ {8, 32, 128}, batch tokens on (the sparse scheduler) versus off
 ``benchmarks/results/BENCH_simulation.json``.  The dense rate is the
 drift anchor and the token rate the guarded quantity, with the same
 ``--compare``/``--tolerance`` regression floor as the engine benchmark.
+
+``--vectorized`` benchmarks the trial-batched vectorized backend
+(:mod:`repro.vectorized`) against the scalar token engine over the same
+trial grid and seeds, writing ``benchmarks/results/BENCH_vectorized.json``
+with the token rate as drift anchor — the recorded ``speedup`` per config
+is the acceptance quantity of the vectorized backend (chunked n=128 and
+rewind n=128 vs the scalar token engine).
 """
 
 from __future__ import annotations
@@ -604,6 +611,194 @@ def check_simulation_against_reference(
     return messages
 
 
+# ----------------------------------------------------------------------
+# Standalone vectorized-backend benchmark (CI benchmark-smoke job)
+# ----------------------------------------------------------------------
+
+
+def _time_vectorized(scheme: str, n: int, trials: int, repeats: int) -> float:
+    """Trials/second of the party-collapsed vectorized simulation.
+
+    Identical access pattern to :func:`_time_simulation` — same task,
+    inputs, channel seeds, shared seeds, warmup and best-of — so the rate
+    is directly comparable to the scalar token rate of the same config.
+    The codebook/decoder cache persists across trials, as the
+    ``VectorizedRunner`` holds it across a batch.
+    """
+    from repro.vectorized import simulate_chunked, simulate_rewind
+
+    collapsed = {"chunked": simulate_chunked, "rewind": simulate_rewind}[
+        scheme
+    ]
+    make_simulator, make_channel = _SIM_SCHEMES[scheme]
+    task = InputSetTask(n)
+    inputs = task.sample_inputs(random.Random(n))
+    protocol = task.noiseless_protocol()
+    simulator = make_simulator()
+    cache: dict = {}
+    collapsed(
+        simulator,
+        protocol,
+        inputs,
+        make_channel(10_000),
+        shared_seed=10_000,
+        codebook_cache=cache,
+    )
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for trial in range(trials):
+            collapsed(
+                simulator,
+                protocol,
+                inputs,
+                make_channel(trial),
+                shared_seed=trial,
+                codebook_cache=cache,
+            )
+        elapsed = time.perf_counter() - start
+        best = max(best, trials / elapsed)
+    return best
+
+
+def run_vectorized_benchmark(quick: bool = False) -> dict:
+    """Vectorized vs scalar-token simulation throughput.
+
+    Same trial grid, seeds and repeats as the ``--simulation`` benchmark;
+    the scalar token rate doubles as the machine-drift anchor of the
+    regression floor, and ``speedup`` is the acceptance quantity
+    (vectorized over scalar token engine, per config).
+    """
+    from repro.vectorized import require_numpy
+
+    require_numpy()
+    parties = SIM_BENCH_PARTIES[:2] if quick else SIM_BENCH_PARTIES
+    repeats = 2
+    payload: dict = {
+        "benchmark": "vectorized_throughput",
+        "task": "InputSetTask",
+        "channels": {
+            "chunked": "CorrelatedNoiseChannel(0.1)",
+            "rewind": "SuppressionNoiseChannel(0.1)",
+        },
+        "repeats": repeats,
+        "results": [],
+    }
+    for scheme in sorted(_SIM_SCHEMES):
+        for n in parties:
+            trials = _SIM_TRIALS[(scheme, n)]
+            token_rate = _time_simulation(
+                scheme, n, tokens=True, trials=trials, repeats=repeats
+            )
+            vectorized_rate = _time_vectorized(
+                scheme, n, trials=trials, repeats=repeats
+            )
+            entry = {
+                "scheme": scheme,
+                "n_parties": n,
+                "trials": trials,
+                "token_trials_per_sec": round(token_rate, 3),
+                "vectorized_trials_per_sec": round(vectorized_rate, 3),
+                "speedup": round(vectorized_rate / token_rate, 2),
+            }
+            payload["results"].append(entry)
+            print(
+                f"{scheme:<8} n={n:<4} "
+                f"tokens {token_rate:>9,.2f} trials/s   "
+                f"vectorized {vectorized_rate:>9,.2f} trials/s   "
+                f"x{vectorized_rate / token_rate:.2f}"
+            )
+    return payload
+
+
+def compare_vectorized_to_reference(
+    payload: dict, reference: dict, tolerance: float
+) -> list[dict]:
+    """Regression check of vectorized throughput against a reference run.
+
+    Same drift normalization as :func:`compare_simulation_to_reference`,
+    with the scalar token engine as the in-process anchor: its drift
+    (measured/reference, clamped to at most 1) scales the floor down on
+    slow machines, while a change that slows only the vectorized backend
+    leaves the anchor — and therefore the floor — untouched.
+    """
+    by_config = {
+        (entry["scheme"], entry["n_parties"]): entry
+        for entry in reference.get("results", [])
+    }
+    failures: list[dict] = []
+    for entry in payload["results"]:
+        ref = by_config.get((entry["scheme"], entry["n_parties"]))
+        if ref is None:
+            continue
+        measured = entry["vectorized_trials_per_sec"]
+        machine = min(
+            1.0,
+            entry["token_trials_per_sec"] / ref["token_trials_per_sec"],
+        )
+        floor = ref["vectorized_trials_per_sec"] * (1.0 - tolerance) * machine
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"compare {entry['scheme']:<8} n={entry['n_parties']:<4} "
+            f"measured {measured:>9,.2f} trials/s   "
+            f"reference {ref['vectorized_trials_per_sec']:>9,.2f} trials/s   "
+            f"floor {floor:>9,.2f}   {verdict}"
+        )
+        if measured < floor:
+            failures.append(entry)
+    return failures
+
+
+def check_vectorized_against_reference(
+    payload: dict, reference: dict, tolerance: float, attempts: int = 3
+) -> list[str]:
+    """``compare_vectorized_to_reference`` with transient-miss retries
+    (same protocol as the engine and simulation checks)."""
+    repeats = payload["repeats"]
+    for attempt in range(attempts):
+        failures = compare_vectorized_to_reference(
+            payload, reference, tolerance
+        )
+        if not failures:
+            return []
+        if attempt == attempts - 1:
+            break
+        print(f"re-measuring {len(failures)} config(s) that missed the floor")
+        for entry in failures:
+            rate = _time_vectorized(
+                entry["scheme"],
+                entry["n_parties"],
+                trials=entry["trials"],
+                repeats=repeats,
+            )
+            entry["vectorized_trials_per_sec"] = max(
+                entry["vectorized_trials_per_sec"], round(rate, 3)
+            )
+            entry["speedup"] = round(
+                entry["vectorized_trials_per_sec"]
+                / entry["token_trials_per_sec"],
+                2,
+            )
+    by_config = {
+        (entry["scheme"], entry["n_parties"]): entry
+        for entry in reference.get("results", [])
+    }
+    messages = []
+    for entry in failures:
+        ref = by_config[(entry["scheme"], entry["n_parties"])]
+        machine = min(
+            1.0,
+            entry["token_trials_per_sec"] / ref["token_trials_per_sec"],
+        )
+        messages.append(
+            f"{entry['scheme']} n={entry['n_parties']}: "
+            f"{entry['vectorized_trials_per_sec']:,} trials/s < "
+            f"{ref['vectorized_trials_per_sec'] * (1 - tolerance) * machine:,.2f}"
+            f" trials/s (reference - {tolerance:.0%}, machine x{machine:.2f})"
+        )
+    return messages
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Engine throughput benchmark (fast path vs seed loop)"
@@ -619,6 +814,14 @@ def main() -> int:
         help=(
             "benchmark end-to-end simulations (token vs dense scheduling) "
             "instead of raw engine throughput"
+        ),
+    )
+    parser.add_argument(
+        "--vectorized",
+        action="store_true",
+        help=(
+            "benchmark the trial-batched vectorized backend against the "
+            "scalar token engine (requires numpy)"
         ),
     )
     parser.add_argument(
@@ -650,7 +853,11 @@ def main() -> int:
     reference = (
         json.loads(Path(args.compare).read_text()) if args.compare else None
     )
-    if args.simulation:
+    if args.vectorized:
+        payload = run_vectorized_benchmark(quick=args.quick)
+        check = check_vectorized_against_reference
+        default_name = "BENCH_vectorized.json"
+    elif args.simulation:
         payload = run_simulation_benchmark(quick=args.quick)
         check = check_simulation_against_reference
         default_name = "BENCH_simulation.json"

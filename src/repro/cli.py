@@ -36,7 +36,7 @@ from typing import Sequence
 from repro import __version__
 from repro.analysis import fit_log, format_table
 from repro.analysis.sweep import SweepSpec, run_sweep_point
-from repro.parallel import make_runner
+from repro.parallel import RUNNER_BACKENDS, make_runner
 
 # Task/channel/simulator registries and executor construction live in
 # repro.service.grid — one source of truth shared with the sweep service,
@@ -74,7 +74,7 @@ def cmd_info(_args: argparse.Namespace) -> int:
 def cmd_demo(args: argparse.Namespace) -> int:
     task = _make_task(args.task, args.n)
     executor = _make_executor(task, args.channel, args.epsilon, args.simulator)
-    runner = make_runner(args.workers)
+    runner = make_runner(args.workers, backend=args.backend)
     try:
         point = run_sweep_point(
             task,
@@ -188,7 +188,7 @@ def _run_overhead(args: argparse.Namespace) -> int:
     rows = []
     overheads = []
     trials_per_s = []
-    runner = make_runner(args.workers)
+    runner = make_runner(args.workers, backend=args.backend)
     try:
         for n in ns:
             task = _make_task("input-set", n)
@@ -303,7 +303,8 @@ def add_common_run_args(
     """The execution knobs every trial-running subcommand shares.
 
     Mirrors :class:`~repro.analysis.sweep.SweepSpec`: ``--trials`` and
-    ``--seed`` shape the numbers, ``--workers`` only the wall-clock.
+    ``--seed`` shape the numbers, ``--workers`` and ``--backend`` only
+    the wall-clock.
     """
     parser.add_argument("--trials", type=int, default=trials_default)
     parser.add_argument("--seed", type=int, default=0)
@@ -313,6 +314,13 @@ def add_common_run_args(
         default=1,
         help="trial-runner workers (process pool when > 1; results are "
         "identical for any worker count)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=RUNNER_BACKENDS,
+        default="auto",
+        help="trial-runner backend (auto: serial unless --workers > 1; "
+        "vectorized: trial-batched numpy backend, results identical)",
     )
 
 

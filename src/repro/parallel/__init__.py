@@ -50,6 +50,7 @@ __all__ = [
     "ProtocolExecutor",
     "SimulationExecutor",
     "make_runner",
+    "RUNNER_BACKENDS",
     "get_default_runner",
     "set_default_runner",
     "use_runner",
@@ -58,13 +59,45 @@ __all__ = [
 _default_runner: TrialRunner = SerialRunner()
 
 
+#: Backend names ``make_runner`` accepts (the CLI's ``--backend`` choices).
+RUNNER_BACKENDS = ("auto", "serial", "process", "vectorized")
+
+
 def make_runner(
-    workers: int | None = 1, chunk_size: int | None = None
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> TrialRunner:
-    """A runner for ``workers`` concurrent trials (serial when <= 1)."""
-    if workers is None or workers <= 1:
+    """A runner from the backend registry.
+
+    ``backend`` selects explicitly: ``"serial"``, ``"process"`` (a pool of
+    ``workers``), or ``"vectorized"`` (the trial-batched numpy backend of
+    :mod:`repro.vectorized`; requires numpy, scalar-fallback for batches
+    it cannot collapse).  ``None``/``"auto"`` keeps the historical rule:
+    serial when ``workers <= 1``, a process pool otherwise.  Every
+    backend honours the determinism contract, so the choice is purely a
+    wall-clock decision.
+    """
+    if backend is None or backend == "auto":
+        if workers is None or workers <= 1:
+            return SerialRunner()
+        return ProcessPoolRunner(workers=workers, chunk_size=chunk_size)
+    if backend == "serial":
         return SerialRunner()
-    return ProcessPoolRunner(workers=workers, chunk_size=chunk_size)
+    if backend == "process":
+        return ProcessPoolRunner(workers=workers, chunk_size=chunk_size)
+    if backend == "vectorized":
+        # Imported lazily: the vectorized package needs numpy only at
+        # construction, and serial/process users shouldn't pay for it.
+        from repro.vectorized import VectorizedRunner
+
+        return VectorizedRunner()
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown runner backend {backend!r}; "
+        f"expected one of {', '.join(RUNNER_BACKENDS)}"
+    )
 
 
 def get_default_runner() -> TrialRunner:

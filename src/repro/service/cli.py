@@ -31,7 +31,7 @@ from typing import Any
 
 from repro.errors import ConfigurationError, ReproError
 from repro.observe import JsonlSink, MetricsCollector, Observer, read_jsonl
-from repro.parallel import make_runner, use_runner
+from repro.parallel import RUNNER_BACKENDS, make_runner, use_runner
 from repro.service.driver import run_sweep_resumable, sweep_status
 from repro.service.grid import CHANNELS, SIMULATORS, TASKS, SweepGrid
 from repro.service.shards import merge_sweep, plan_shards
@@ -135,7 +135,7 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
             "total": grid.total_points,
         },
     )
-    runner = make_runner(args.workers)
+    runner = make_runner(args.workers, backend=args.backend)
     try:
         with use_runner(runner):
             points = run_sweep_resumable(
@@ -295,6 +295,13 @@ def add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
             type=int,
             default=1,
             help="trial-runner workers (results identical for any count)",
+        )
+        verb.add_argument(
+            "--backend",
+            choices=RUNNER_BACKENDS,
+            default="auto",
+            help="trial-runner backend; cache keys are backend-invariant, "
+            "so a cache warmed by one backend hits from any other",
         )
         verb.add_argument(
             "--shard",

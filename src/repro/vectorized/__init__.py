@@ -1,0 +1,64 @@
+"""The trial-batched vectorized backend (numpy-optional).
+
+A third :class:`~repro.parallel.runner.TrialRunner` backend that executes
+Monte-Carlo batches through party-collapsed simulations over packed numpy
+bit-matrices, bitwise-equivalent to the scalar engine trial by trial:
+
+* :mod:`repro.vectorized.noise` — MT19937 state transfer from
+  ``random.Random`` into numpy, flip-indicator streams, batched prefetch;
+* :mod:`repro.vectorized.bitmatrix` — packed trial×round bit-matrices and
+  the byte-per-position mask bridge to the scalar decoder;
+* :mod:`repro.vectorized.decoder` — whole-codebook ML decoding;
+* :mod:`repro.vectorized.schemes` — the collapsed chunk-commit and
+  rewind simulations;
+* :mod:`repro.vectorized.runner` — :class:`VectorizedRunner`, with
+  scalar fallback for batches it cannot collapse.
+
+Importing this package never requires numpy; constructing the runner (or
+calling any vectorized entry point) raises a clear
+:class:`~repro.errors.ConfigurationError` when numpy is missing.  Select
+the backend with ``make_runner(backend="vectorized")`` or
+``--backend vectorized`` on the CLI.
+"""
+
+from repro.vectorized.bitmatrix import (
+    bits_from_mask,
+    mask_int,
+    pack_rows,
+    popcount_rows,
+    unpack_rows,
+)
+from repro.vectorized.decoder import VectorizedMLDecoder
+from repro.vectorized.noise import (
+    HAVE_NUMPY,
+    BatchFlips,
+    FlipStream,
+    numpy_stream,
+    require_numpy,
+)
+from repro.vectorized.runner import VectorizedRunner
+from repro.vectorized.schemes import (
+    CHANNEL_KINDS,
+    CollapsedOutcome,
+    simulate_chunked,
+    simulate_rewind,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "require_numpy",
+    "numpy_stream",
+    "FlipStream",
+    "BatchFlips",
+    "pack_rows",
+    "unpack_rows",
+    "mask_int",
+    "bits_from_mask",
+    "popcount_rows",
+    "VectorizedMLDecoder",
+    "CHANNEL_KINDS",
+    "CollapsedOutcome",
+    "simulate_chunked",
+    "simulate_rewind",
+    "VectorizedRunner",
+]

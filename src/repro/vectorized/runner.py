@@ -1,0 +1,235 @@
+"""The trial-batched vectorized backend.
+
+:class:`VectorizedRunner` is the third :class:`~repro.parallel.runner.
+TrialRunner` backend, next to ``SerialRunner`` and ``ProcessPoolRunner``.
+It targets the scalar engine's worst cases — the chunk-commit scheme's
+``n²`` inner-party replays and the rewind scheme's strictly sequential
+alarm rounds — by running each trial through the party-collapsed
+simulations of :mod:`repro.vectorized.schemes`, with the whole batch's
+shared-noise draws prefetched as rows of one packed numpy bit-matrix
+(:class:`~repro.vectorized.noise.BatchFlips`) and ML decoding vectorized
+over the codebook (:class:`~repro.vectorized.decoder.VectorizedMLDecoder`,
+shared — memo included — across the batch).
+
+The determinism contract of :mod:`repro.parallel.runner` is preserved
+*bitwise*: inputs come from ``spawn(seed, f"inputs[{index}]")``, channels
+from ``executor.channel.make(derive_seed(seed, f"trial[{index}]"))`` —
+the exact calls :func:`~repro.parallel.runner.run_trial` makes — and the
+collapsed schemes replay the scalar RNG draw order flip for flip.  Any
+trial a vectorized sweep records can therefore be replayed on the scalar
+engine from its ``(seed, index)`` alone, which is what the cross-backend
+equivalence suite does.
+
+Batches the backend cannot collapse (non-simulation executors, simulators
+other than chunk-commit/rewind, channel families outside the correlated
+shared-bit model) run through the scalar :func:`run_trial` loop instead —
+same records, with ``timing["fallback"]`` set and the reason in
+``last_fallback_reason``, mirroring the process-pool backend's downgrade
+protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
+
+from repro.parallel.executors import SimulationExecutor
+from repro.parallel.runner import (
+    Executor,
+    TrialBatch,
+    TrialRecord,
+    TrialRunner,
+    _emit_batch_events,
+    _serial_records,
+    _timing,
+    _validate_trials,
+)
+from repro.rng import derive_seed, spawn
+from repro.simulation.chunked import ChunkCommitSimulator
+from repro.simulation.rewind import RewindSimulator
+from repro.tasks.base import Task
+from repro.vectorized.noise import BatchFlips, require_numpy
+from repro.vectorized.schemes import (
+    CHANNEL_KINDS,
+    simulate_chunked,
+    simulate_rewind,
+)
+
+__all__ = ["VectorizedRunner"]
+
+#: Simulator types with a party-collapsed form.  Exact types: a subclass
+#: may override scheme steps the collapsed forms hard-code.
+_COLLAPSED_SCHEMES = {
+    ChunkCommitSimulator: simulate_chunked,
+    RewindSimulator: simulate_rewind,
+}
+
+
+class VectorizedRunner(TrialRunner):
+    """In-process backend running batches through collapsed simulations.
+
+    Args:
+        prefetch: Shared-noise flip indicators prefetched per trial into
+            the batch bit-matrix; draws beyond it continue seamlessly
+            from each trial's transferred generator state.  Purely an
+            amortization knob — results are identical for any value.
+
+    Requires numpy (raises :class:`~repro.errors.ConfigurationError` at
+    construction when missing, so callers can gate on it cleanly).
+    """
+
+    def __init__(self, prefetch: int = 4096) -> None:
+        require_numpy()
+        self.prefetch = prefetch
+        #: Why the last batch fell back to the scalar loop (``None`` when
+        #: it ran vectorized), mirroring ``ProcessPoolRunner``.
+        self.last_fallback_reason: str | None = None
+        # (chunk_length, rate_constant, code_seed, up, down) ->
+        # (code, VectorizedMLDecoder); shared across batches so the
+        # decode memo warms once per parameter point, not once per trial.
+        self._codebooks: dict[tuple, tuple] = {}
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def _classify(self, executor: Executor, seed: int):
+        """The collapsed scheme for this batch, or a fallback reason."""
+        if not isinstance(executor, SimulationExecutor):
+            return None, "executor is not a SimulationExecutor"
+        simulator = executor.simulator.make()
+        collapsed = _COLLAPSED_SCHEMES.get(type(simulator))
+        if collapsed is None:
+            return None, (
+                f"no collapsed form for {type(simulator).__name__}"
+            )
+        probe = executor.channel.make(derive_seed(seed, "trial[0]"))
+        if type(probe) not in CHANNEL_KINDS:
+            return None, (
+                f"no collapsed replay for {type(probe).__name__}"
+            )
+        return (simulator, collapsed), None
+
+    def _serial_fallback(
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        seed: int,
+        reason: str,
+        observe: "Observer | None",
+    ) -> TrialBatch:
+        self.last_fallback_reason = reason
+        tracing = observe is not None and observe.enabled
+        records, elapsed, times = _serial_records(
+            task, executor, trials, seed, collect_times=tracing
+        )
+        batch = TrialBatch(
+            records=records,
+            timing=_timing(
+                elapsed=elapsed,
+                trials=trials,
+                workers=1,
+                chunks=1,
+                busy=elapsed,
+                parallel=False,
+                fallback=True,
+            ),
+        )
+        if tracing:
+            _emit_batch_events(observe, batch, trial_times=times)
+        return batch
+
+    def run_trials(
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
+    ) -> TrialBatch:
+        _validate_trials(trials)
+        route, reason = self._classify(executor, seed)
+        if route is None:
+            return self._serial_fallback(
+                task, executor, trials, seed, reason, observe
+            )
+        simulator, collapsed = route
+        self.last_fallback_reason = None
+        tracing = observe is not None and observe.enabled
+
+        start = time.perf_counter()
+        # The exact per-trial channel constructions run_trial's executor
+        # would make, batched up front so their noise streams can be
+        # prefetched as one packed trial x draw bit-matrix.
+        channels = [
+            executor.channel.make(derive_seed(seed, f"trial[{index}]"))
+            for index in range(trials)
+        ]
+        epsilon = getattr(channels[0], "epsilon", 0.0)
+        flip_rows: BatchFlips | None = None
+        if epsilon > 0.0:
+            flip_rows = BatchFlips(
+                [channel._rng for channel in channels],
+                epsilon,
+                columns=self.prefetch,
+            )
+
+        records: list[TrialRecord] = []
+        times: list[float] | None = [] if tracing else None
+        last = start
+        for index in range(trials):
+            inputs = task.sample_inputs(spawn(seed, f"inputs[{index}]"))
+            outcome = collapsed(
+                simulator,
+                task.noiseless_protocol(),
+                inputs,
+                channels[index],
+                flips=(
+                    flip_rows.stream(index)
+                    if flip_rows is not None
+                    else None
+                ),
+                codebook_cache=self._codebooks,
+            )
+            report = outcome.report
+            stats = outcome.channel_stats
+            records.append(
+                TrialRecord(
+                    index=index,
+                    success=bool(task.is_correct(inputs, outcome.outputs)),
+                    rounds=float(outcome.rounds),
+                    chunk_attempts=float(report.chunk_attempts),
+                    completed=bool(report.completed),
+                    channel_rounds=stats.rounds,
+                    beeps_sent=stats.beeps_sent,
+                    or_ones=stats.or_ones,
+                    flips_up=stats.flips_up,
+                    flips_down=stats.flips_down,
+                    total_energy=outcome.total_energy,
+                )
+            )
+            if times is not None:
+                now = time.perf_counter()
+                times.append(now - last)
+                last = now
+        elapsed = time.perf_counter() - start
+        batch = TrialBatch(
+            records=records,
+            timing=_timing(
+                elapsed=elapsed,
+                trials=trials,
+                workers=1,
+                chunks=1,
+                busy=elapsed,
+                parallel=False,
+                fallback=False,
+            ),
+        )
+        if tracing:
+            _emit_batch_events(observe, batch, trial_times=times)
+        return batch

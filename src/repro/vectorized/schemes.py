@@ -1,0 +1,657 @@
+"""Party-collapsed, trial-batchable forms of the simulation schemes.
+
+The scalar engine runs a simulation scheme as ``n`` coroutine parties
+exchanging one bit per round through a channel object.  Under correlated
+noise every party of these schemes walks through *identical shared state*
+(that is the point of the correlated model), so the per-party work is
+``n``-fold redundant: each chunk attempt re-creates ``n²`` inner parties,
+all ``n`` parties decode the same received word, and every phase's round
+window is a function of a handful of shared quantities.  The collapsed
+forms below compute each shared quantity once, drive a *single* set of
+``n`` live inner-party coroutines, and replace per-round channel calls
+with windowed draws from a :class:`~repro.vectorized.noise.FlipStream` —
+while reproducing the scalar execution *bitwise*: same RNG draw order,
+same decoded symbols (via the byte-packed
+:class:`~repro.vectorized.decoder.VectorizedMLDecoder`), same rounds,
+channel statistics, per-party energy, outputs and report fields.  The
+cross-backend equivalence suite (``tests/unit/test_vectorized_equivalence``)
+enforces this against the scalar engine trial by trial.
+
+Determinism assumption: inner parties are deterministic functions of
+``(inputs, received prefix)``.  The scalar schemes already rely on exactly
+this (``InnerReplay`` re-creates parties on every attempt; rewind replays
+after pops), so the collapsed forms add no new assumption.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.channels.correlated import CorrelatedNoiseChannel
+from repro.channels.noiseless import NoiselessChannel
+from repro.channels.one_sided import (
+    OneSidedNoiseChannel,
+    SuppressionNoiseChannel,
+)
+from repro.channels.stats import ChannelStats
+from repro.core.protocol import Protocol
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simulation.base import SimulationReport, Simulator
+from repro.simulation.chunked import ChunkCommitSimulator
+from repro.simulation.owners import (
+    NEXT,
+    build_owners_code,
+    position_symbol,
+    symbol_position,
+)
+from repro.simulation.rewind import RewindSimulator
+from repro.vectorized.decoder import VectorizedMLDecoder
+from repro.vectorized.noise import FlipStream, require_numpy
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = [
+    "CHANNEL_KINDS",
+    "CollapsedOutcome",
+    "simulate_chunked",
+    "simulate_rewind",
+]
+
+#: Channel classes the collapsed schemes can replay bitwise, mapped to the
+#: draw rule their noise follows (see ``_SharedChannel``).  Exact types:
+#: a subclass may override delivery and must take the scalar path.
+CHANNEL_KINDS: dict[type, str] = {
+    NoiselessChannel: "noiseless",
+    CorrelatedNoiseChannel: "correlated",
+    OneSidedNoiseChannel: "one_sided",
+    SuppressionNoiseChannel: "suppression",
+}
+
+
+@dataclass
+class CollapsedOutcome:
+    """What a collapsed simulation produces — the scalar result minus the
+    transcript (which no sweep aggregates).
+
+    Field-for-field comparable with the scalar
+    :class:`~repro.core.result.ExecutionResult` of the same trial:
+    ``rounds == result.rounds``, ``channel_stats == result.channel_stats``,
+    ``beeps_per_party == result.beeps_per_party``, ``outputs ==
+    result.outputs`` and ``report`` matches ``result.metadata["report"]``.
+    """
+
+    outputs: list[Any]
+    rounds: int
+    channel_stats: ChannelStats
+    beeps_per_party: tuple[int, ...]
+    report: SimulationReport
+
+    @property
+    def total_energy(self) -> int:
+        return sum(self.beeps_per_party)
+
+
+class _SharedChannel:
+    """Windowed, stats-exact replay of a correlated channel's delivery.
+
+    Reproduces, draw for draw, what the scalar channel would deliver for
+    the three access shapes the collapsed schemes need: a constant-OR
+    window (phase-1/verification votes), a codeword window (owners
+    phase), and a single round (rewind).  Statistics accrue exactly as
+    ``transmit_shared``/``transmit_shared_run`` record them.
+    """
+
+    __slots__ = ("kind", "flips", "stats")
+
+    def __init__(self, kind: str, flips: FlipStream) -> None:
+        self.kind = kind
+        self.flips = flips
+        self.stats = ChannelStats()
+
+    def window(self, or_value: int, beeps: int, rounds: int) -> int:
+        """Transmit ``rounds`` rounds of constant OR; return received ones."""
+        stats = self.stats
+        stats.rounds += rounds
+        stats.beeps_sent += beeps * rounds
+        stats.or_ones += or_value * rounds
+        kind = self.kind
+        if kind == "correlated":
+            flipped = self.flips.count(rounds)
+            if or_value:
+                stats.flips_down += flipped
+                return rounds - flipped
+            stats.flips_up += flipped
+            return flipped
+        if kind == "one_sided":
+            if or_value:
+                return rounds
+            flipped = self.flips.count(rounds)
+            stats.flips_up += flipped
+            return flipped
+        if kind == "suppression":
+            if not or_value:
+                return 0
+            flipped = self.flips.count(rounds)
+            stats.flips_down += flipped
+            return rounds - flipped
+        return or_value * rounds  # noiseless
+
+    def word(self, bits: "_np.ndarray", weight: int) -> "_np.ndarray":
+        """Transmit a codeword round-by-round; return the received word.
+
+        ``bits`` is the round-wise true OR (only the speaker beeps, so the
+        OR *is* its codeword); ``weight`` is its popcount.
+        """
+        length = len(bits)
+        stats = self.stats
+        stats.rounds += length
+        stats.beeps_sent += weight
+        stats.or_ones += weight
+        kind = self.kind
+        if kind == "correlated":
+            flipped = self.flips.take(length)
+            down = int((flipped & bits).sum())
+            stats.flips_down += down
+            stats.flips_up += int(flipped.sum()) - down
+            return bits ^ flipped
+        if kind == "one_sided":
+            received = bits.copy()
+            silent = length - weight
+            if silent:
+                flipped = self.flips.take(silent)
+                received[bits == 0] = flipped
+                stats.flips_up += int(flipped.sum())
+            return received
+        if kind == "suppression":
+            received = bits.copy()
+            if weight:
+                flipped = self.flips.take(weight)
+                received[bits == 1] = 1 - flipped
+                stats.flips_down += int(flipped.sum())
+            return received
+        return bits  # noiseless
+
+    def round(self, or_value: int, beeps: int) -> int:
+        """Transmit a single round; return the shared received bit."""
+        stats = self.stats
+        stats.rounds += 1
+        stats.beeps_sent += beeps
+        stats.or_ones += or_value
+        kind = self.kind
+        if kind == "correlated":
+            flipped = self.flips.take1()
+            if flipped:
+                if or_value:
+                    stats.flips_down += 1
+                    return 0
+                stats.flips_up += 1
+                return 1
+            return or_value
+        if kind == "one_sided":
+            if or_value:
+                return 1
+            flipped = self.flips.take1()
+            stats.flips_up += flipped
+            return flipped
+        if kind == "suppression":
+            if not or_value:
+                return 0
+            flipped = self.flips.take1()
+            stats.flips_down += flipped
+            return 0 if flipped else 1
+        return or_value  # noiseless
+
+
+class _InnerPrograms:
+    """The ``n`` inner-party coroutines, advanced in lockstep.
+
+    The scalar schemes give each of the ``n`` outer parties its own fresh
+    copy of one inner party per attempt (``n²`` constructions); since all
+    copies receive the same shared bits, one live set suffices.  ``strict``
+    selects the chunk schemes' ``InnerReplay`` error contract (a party
+    must yield exactly ``length()`` bits); the rewind scheme tolerates
+    early termination (bits become ``None``).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        shared_seed: int | None,
+        strict: bool,
+    ) -> None:
+        self._protocol = protocol
+        self._inputs = list(inputs)
+        self._shared_seed = shared_seed
+        self._strict = strict
+        self.bits: list[int | None] = []
+        self.position = 0
+        self._programs: list[Any] = []
+        self._finished: list[bool] = []
+        self._outputs: list[Any] = []
+        self.restart()
+
+    def restart(self) -> None:
+        """Fresh coroutines at position 0 (one ``create_parties`` call)."""
+        parties = self._protocol.create_parties(
+            self._inputs, shared_seed=self._shared_seed
+        )
+        self._programs = [party.run() for party in parties]
+        count = len(self._programs)
+        self.bits = [None] * count
+        self._finished = [False] * count
+        self._outputs = [None] * count
+        self.position = 0
+        for index, program in enumerate(self._programs):
+            try:
+                self.bits[index] = next(program)
+            except StopIteration as stop:
+                self._finished[index] = True
+                self._outputs[index] = stop.value
+
+    def rebuild(self, prefix: Sequence[int]) -> None:
+        """Restart and replay a received prefix (the rewind/reject path)."""
+        self.restart()
+        for received in prefix:
+            self.advance(received)
+
+    def advance(self, received: int) -> None:
+        """Deliver one shared received bit to every party."""
+        strict = self._strict
+        finished = self._finished
+        bits = self.bits
+        outputs = self._outputs
+        for index, program in enumerate(self._programs):
+            if finished[index]:
+                if strict:
+                    raise ProtocolError(
+                        "inner party finished before its declared length"
+                    )
+                continue
+            try:
+                bits[index] = program.send(received)
+            except StopIteration as stop:
+                finished[index] = True
+                outputs[index] = stop.value
+                bits[index] = None
+        self.position += 1
+
+    def outputs(self) -> list[Any]:
+        """Per-party outputs; strict mode requires every party finished."""
+        if self._strict and not all(self._finished):
+            raise ProtocolError(
+                "inner protocol did not finish at its declared length"
+            )
+        return list(self._outputs)
+
+    def outputs_over(self, prefix: Sequence[int]) -> list[Any]:
+        """Outputs of a fresh replay over ``prefix`` (the padded path)."""
+        self.rebuild(prefix)
+        return self.outputs()
+
+
+def _channel_kind(channel: Channel) -> str:
+    kind = CHANNEL_KINDS.get(type(channel))
+    if kind is None:
+        raise ConfigurationError(
+            f"collapsed simulation cannot replay {type(channel).__name__}; "
+            "use the scalar engine"
+        )
+    return kind
+
+
+def _shared_channel(
+    channel: Channel, flips: FlipStream | None
+) -> _SharedChannel:
+    kind = _channel_kind(channel)
+    if flips is None:
+        flips = FlipStream(channel._rng, getattr(channel, "epsilon", 0.0))
+    return _SharedChannel(kind, flips)
+
+
+def simulate_chunked(
+    simulator: ChunkCommitSimulator,
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    flips: FlipStream | None = None,
+    codebook_cache: dict | None = None,
+) -> CollapsedOutcome:
+    """The chunk-commit scheme, party-collapsed; bitwise equal to
+    ``simulator.simulate(protocol, inputs, channel)`` on the supported
+    channels (minus the transcript).
+
+    ``flips`` optionally injects a pre-built noise stream (the runner's
+    batched prefetch); ``codebook_cache`` shares the owners codebook and
+    vectorized decoder (including its memo) across the trials of a batch —
+    the scalar scheme rebuilds both per trial.
+    """
+    require_numpy()
+    if not channel.correlated:
+        raise ConfigurationError(
+            "ChunkCommitSimulator relies on a shared transcript and "
+            "requires a correlated channel; use RepetitionSimulator "
+            "for independent noise"
+        )
+    inner_length = simulator._require_fixed_length(protocol)
+    noise = simulator._resolve_noise_model(channel)
+    epsilon = max(noise.up, noise.down)
+    params = simulator.params
+
+    n_parties = protocol.n_parties
+    chunk_length = params.resolve_chunk_length(n_parties)
+    repetitions = params.resolve_repetitions(n_parties, epsilon)
+    verification_repetitions = params.resolve_verification_repetitions(
+        n_parties, epsilon
+    )
+    num_chunks = max(1, math.ceil(inner_length / chunk_length))
+    max_attempts = (
+        math.ceil(params.attempt_slack * num_chunks) + params.attempt_extra
+    )
+
+    cache_key = (
+        chunk_length,
+        params.code_rate_constant,
+        params.code_seed,
+        noise.up,
+        noise.down,
+    )
+    cached = (
+        codebook_cache.get(cache_key) if codebook_cache is not None else None
+    )
+    if cached is None:
+        code = build_owners_code(
+            chunk_length,
+            rate_constant=params.code_rate_constant,
+            seed=params.code_seed,
+        )
+        decoder = VectorizedMLDecoder(code, noise)
+        if codebook_cache is not None:
+            codebook_cache[cache_key] = (code, decoder)
+    else:
+        code, decoder = cached
+
+    report = SimulationReport(
+        scheme=type(simulator).__name__,
+        inner_length=inner_length,
+        extra={
+            "repetitions": repetitions,
+            "verification_repetitions": verification_repetitions,
+            "chunk_length": chunk_length,
+            "max_attempts": max_attempts,
+            "codeword_length": code.codeword_length,
+        },
+    )
+
+    shared = _shared_channel(channel, flips)
+    programs = _InnerPrograms(protocol, inputs, shared_seed, strict=True)
+    energy = _np.zeros(n_parties, dtype=_np.int64)
+    codebook = decoder._codebook
+    codeword_weights = decoder._mask_weights
+
+    committed: list[int] = []
+    attempts = 0
+    while len(committed) < inner_length and attempts < max_attempts:
+        attempts += 1
+        chunk_rounds = min(chunk_length, inner_length - len(committed))
+        if programs.position != len(committed):
+            # The previous attempt was rejected: replay the committed
+            # prefix once (the scalar scheme replays it n times, once per
+            # outer party, on *every* attempt).
+            programs.rebuild(committed)
+
+        # Phase 1: repetition-harden each virtual round into pi.  The
+        # window's received ones collapse to one popcount of the flip
+        # stream; the majority rule matches repeated_bit exactly.
+        beep_rows: list[list[int]] = [[] for _ in range(n_parties)]
+        pi: list[int] = []
+        for _ in range(chunk_rounds):
+            beeps = 0
+            bits = programs.bits
+            for index, bit in enumerate(bits):
+                if bit is None:
+                    raise ProtocolError(
+                        "inner protocol shorter than its declared length"
+                    )
+                beep_rows[index].append(bit)
+                beeps += bit
+            or_value = 1 if beeps else 0
+            ones = shared.window(or_value, beeps, repetitions)
+            decoded = 1 if 2 * ones > repetitions else 0
+            pi.append(decoded)
+            programs.advance(decoded)
+        beep_matrix = _np.array(beep_rows, dtype=_np.uint8)
+        energy += beep_matrix.sum(axis=1, dtype=_np.int64) * repetitions
+
+        # Phase 2: finding owners.  All shared bookkeeping (turn, claimed
+        # set, owner table) is computed once instead of once per party;
+        # only the speaker's claimed-by-me record is party-local.
+        ones_positions = [j for j, bit in enumerate(pi) if bit == 1]
+        iterations = len(ones_positions) + n_parties
+        claimed: set[int] = set()
+        owners: dict[int, int] = {}
+        claimed_by: list[set[int]] = [set() for _ in range(n_parties)]
+        turn = 0
+        for _ in range(iterations):
+            if 0 <= turn < n_parties:
+                speaker = turn
+                row = beep_rows[speaker]
+                candidate = next(
+                    (
+                        j
+                        for j in ones_positions
+                        if row[j] == 1 and j not in claimed
+                    ),
+                    None,
+                )
+                sent_symbol = (
+                    NEXT if candidate is None else position_symbol(candidate)
+                )
+                word = codebook[sent_symbol]
+                weight = int(codeword_weights[sent_symbol])
+                energy[speaker] += weight
+            else:
+                speaker = None
+                sent_symbol = None
+                word = codebook[0]  # SILENCE: the all-zero codeword
+                weight = 0
+            received = shared.word(word, weight)
+            decoded_symbol = decoder.decode(received)
+            if decoded_symbol == NEXT:
+                turn += 1
+            else:
+                position = symbol_position(decoded_symbol)
+                if position is not None and position < len(pi):
+                    claimed.add(position)
+                    if 0 <= turn < n_parties:
+                        owners[position] = turn
+                    if speaker is not None and decoded_symbol == sent_symbol:
+                        claimed_by[speaker].add(position)
+
+        # Phase 3: per-party error flags (vectorized over the beep
+        # matrix) and the OR vote; a clean vote commits the chunk.
+        pi_row = _np.array(pi, dtype=_np.uint8)
+        flags = ((beep_matrix == 1) & (pi_row == 0)).any(axis=1)
+        if any(
+            value == 1 and position not in owners
+            for position, value in enumerate(pi)
+        ):
+            flags[:] = True
+        for position, owner in owners.items():
+            if pi[position] == 1 and position not in claimed_by[owner]:
+                flags[owner] = True
+        flag_beeps = int(flags.sum())
+        or_flag = 1 if flag_beeps else 0
+        ones = shared.window(or_flag, flag_beeps, verification_repetitions)
+        verdict = 1 if 2 * ones > verification_repetitions else 0
+        energy += flags * verification_repetitions
+        if verdict == 0:
+            committed.extend(pi)
+            report.chunk_commits += 1
+        report.chunk_attempts = attempts
+
+    report.completed = len(committed) == inner_length
+    if report.completed and programs.position == inner_length:
+        # The live programs just consumed the full committed transcript —
+        # their outputs are the final replay's outputs (determinism).
+        outputs = programs.outputs()
+    else:
+        padded = committed + [0] * (inner_length - len(committed))
+        outputs = programs.outputs_over(padded)
+
+    report.simulated_rounds = shared.stats.rounds
+    simulator._enforce_completion(report)
+    return CollapsedOutcome(
+        outputs=outputs,
+        rounds=shared.stats.rounds,
+        channel_stats=shared.stats,
+        beeps_per_party=tuple(int(value) for value in energy),
+        report=report,
+    )
+
+
+def simulate_rewind(
+    simulator: RewindSimulator,
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    flips: FlipStream | None = None,
+    codebook_cache: dict | None = None,
+) -> CollapsedOutcome:
+    """The rewind random walk, party-collapsed; bitwise equal to
+    ``simulator.simulate(protocol, inputs, channel)`` on the supported
+    channels (minus the transcript).
+
+    The scalar walk re-replays every party's inner coroutine from scratch
+    after each pop.  Collapsed, the sent-bit column of position ``p`` is a
+    function of ``working[:p]`` alone, so columns survive pops in a cache
+    and a full replay is only needed when an append *changes* a received
+    bit under cached columns.  Per-party dispute sets shrink to an
+    incremental counter vector.  (``codebook_cache`` is accepted for call
+    symmetry; the rewind scheme has no codebook.)
+    """
+    require_numpy()
+    del codebook_cache
+    if not channel.correlated:
+        raise ConfigurationError(
+            "RewindSimulator requires a correlated channel (the working "
+            "transcript must be shared)"
+        )
+    inner_length = simulator._require_fixed_length(protocol)
+    params = simulator.params
+    iterations = (
+        math.ceil(params.rewind_budget_factor * inner_length)
+        + params.rewind_budget_extra
+    )
+    report = SimulationReport(
+        scheme=type(simulator).__name__,
+        inner_length=inner_length,
+        extra={"iterations": iterations},
+    )
+
+    shared = _shared_channel(channel, flips)
+    n_parties = protocol.n_parties
+    programs = _InnerPrograms(protocol, inputs, shared_seed, strict=False)
+    energy = _np.zeros(n_parties, dtype=_np.int64)
+    zero_column = _np.zeros(n_parties, dtype=_np.uint8)
+
+    working: list[int] = []
+    # Cached sent-bit columns: column p depends only on working[:p], and
+    # cached_received mirrors the receive history the columns beyond p
+    # were computed under.  A pop leaves the cache intact; an append that
+    # changes a received bit truncates everything above it.
+    cached_columns: list["_np.ndarray"] = []
+    cached_received: list[int] = []
+    disputes = _np.zeros(n_parties, dtype=_np.int64)
+    rewinds = 0
+    stale = False  # live programs out of sync with ``working``
+
+    for _ in range(iterations):
+        # Alarm round: a party beeps iff it currently disputes a position.
+        alarm_beeps = int((disputes > 0).sum())
+        or_alarm = 1 if alarm_beeps else 0
+        heard_alarm = shared.round(or_alarm, alarm_beeps)
+        energy += disputes > 0
+
+        if heard_alarm == 1:
+            if working:
+                position = len(working) - 1
+                popped = working.pop()
+                if popped == 0:
+                    # Exactly the parties that beeped 1 there disputed it.
+                    disputes -= cached_columns[position]
+                rewinds += 1
+                if programs.position > len(working):
+                    stale = True
+            # Dummy round keeps the iteration at two rounds; all silent.
+            shared.round(0, 0)
+        else:
+            position = len(working)
+            simulating = position < inner_length
+            if simulating:
+                if position < len(cached_columns):
+                    column = cached_columns[position]
+                else:
+                    if stale or programs.position != position:
+                        programs.rebuild(working)
+                        stale = False
+                    column = _np.array(
+                        [
+                            bit if bit is not None else 0
+                            for bit in programs.bits
+                        ],
+                        dtype=_np.uint8,
+                    )
+                    cached_columns.append(column)
+                beeps = int(column.sum())
+            else:
+                column = zero_column
+                beeps = 0
+            or_value = 1 if beeps else 0
+            received = shared.round(or_value, beeps)
+            energy += column
+            if simulating:
+                if position < len(cached_received):
+                    if cached_received[position] != received:
+                        # The past changed: columns above are invalid.
+                        del cached_columns[position + 1 :]
+                        del cached_received[position + 1 :]
+                        cached_received[position] = received
+                        if programs.position > position:
+                            stale = True
+                else:
+                    cached_received.append(received)
+                working.append(received)
+                if received == 0:
+                    disputes += column
+                if not stale and programs.position == position:
+                    programs.advance(received)
+
+    report.rewinds = rewinds
+    report.completed = (
+        len(working) == inner_length and int(disputes[0]) == 0
+    )
+
+    padded = working + [0] * (inner_length - len(working))
+    outputs = programs.outputs_over(padded)
+
+    report.simulated_rounds = shared.stats.rounds
+    simulator._enforce_completion(report)
+    return CollapsedOutcome(
+        outputs=outputs,
+        rounds=shared.stats.rounds,
+        channel_stats=shared.stats,
+        beeps_per_party=tuple(int(value) for value in energy),
+        report=report,
+    )

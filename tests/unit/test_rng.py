@@ -52,6 +52,84 @@ class TestDeriveSeed:
             assert derive_seed(seed, label) == expected, (seed, label)
 
 
+class TestVectorizedStreamGolden:
+    """Literal pins for the vectorized backend's batch seed layout.
+
+    The vectorized runner derives trial ``i``'s channel from
+    ``derive_seed(seed, f"trial[{i}]")`` — the scalar runner's exact
+    label — then transfers the ``random.Random`` Mersenne-Twister state
+    into numpy and reads uniforms from there.  These pins freeze both
+    steps end to end: the derived seeds, the first transferred doubles
+    (bit-exact: ``random_sample`` must reproduce ``Random.random``), and
+    a packed flip-matrix prefix.  Any drift in the derivation, the state
+    transfer, or the packing breaks replayability of vectorized trials
+    on the scalar engine and must fail here, loudly.
+    """
+
+    #: (master seed, trial index) -> (derived seed, first 3 doubles).
+    GOLDEN_STREAMS = {
+        (0, 0): (
+            17683414376094704113,
+            [0.0910270447743976, 0.7847195218805848, 0.5198144271351869],
+        ),
+        (0, 1): (
+            2219731239930664421,
+            [0.6897541618609913, 0.26695807512629, 0.8423625376963151],
+        ),
+        (0, 2): (
+            17782741143816187512,
+            [0.784217815024148, 0.1795536959226105, 0.10283954223110958],
+        ),
+        (42, 0): (
+            5210354176182013856,
+            [0.48425459076644095, 0.9207897634630897, 0.519683381153444],
+        ),
+        (42, 1): (
+            17179934056207608370,
+            [0.36638797411303625, 0.19964314493730828, 0.7102666743018011],
+        ),
+        (42, 2): (
+            26438905068955626,
+            [0.8364485846127282, 0.10698145165855688, 0.35686599727594925],
+        ),
+    }
+
+    #: pack_rows of the first 16 flip indicators (epsilon=0.5) of master
+    #: seed 0's first three trials.
+    GOLDEN_PACKED = [[148, 188], [87, 117], [99, 99]]
+
+    def test_transferred_streams_frozen(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        from repro.vectorized import numpy_stream
+
+        for (master, index), (expected_seed, doubles) in (
+            self.GOLDEN_STREAMS.items()
+        ):
+            trial_seed = derive_seed(master, f"trial[{index}]")
+            assert trial_seed == expected_seed, (master, index)
+            stream = numpy_stream(random.Random(trial_seed))
+            assert list(stream.random_sample(3)) == doubles, (master, index)
+            # The transfer is a continuation, not a re-seed: the scalar
+            # generator produces the same doubles.
+            scalar = random.Random(trial_seed)
+            assert [scalar.random() for _ in range(3)] == doubles
+
+    def test_batch_flip_matrix_frozen(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        from repro.vectorized import BatchFlips
+
+        rngs = [
+            random.Random(derive_seed(0, f"trial[{index}]"))
+            for index in range(3)
+        ]
+        batch = BatchFlips(rngs, 0.5, columns=16)
+        assert batch.packed.tolist() == self.GOLDEN_PACKED
+
+
 class TestSpawn:
     def test_same_label_same_stream(self):
         a = [spawn(1, "a").random() for _ in range(3)]

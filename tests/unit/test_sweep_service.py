@@ -475,6 +475,34 @@ class TestRunSweepResumable:
         assert dicts(warm) == dicts(serial)
         assert store.counters["hits"] == 2
 
+    def test_vectorized_warm_cache_is_backend_invariant(self, tmp_path):
+        """A cache warmed by the vectorized backend serves serial runs
+        (and vice versa) with zero recompute — the key excludes the
+        runner, and the records it addresses are bitwise identical."""
+        pytest.importorskip("numpy")
+        from repro.vectorized import VectorizedRunner
+
+        grid = small_grid(ns=(3, 4), trials=2)
+        store = ResultStore(tmp_path)
+        cold = run_sweep_resumable(
+            grid.ns,
+            grid.build_point,
+            grid.spec(runner=VectorizedRunner()),
+            store=store,
+            workload=grid.workload(),
+        )
+        assert store.counters["puts"] == 2
+        warm = run_sweep_resumable(
+            grid.ns,
+            grid.build_point,
+            grid.spec(runner=SerialRunner()),
+            store=store,
+            workload=grid.workload(),
+        )
+        assert dicts(warm) == dicts(cold)
+        assert store.counters["hits"] == 2
+        assert store.counters["puts"] == 2  # nothing recomputed
+
 
 class TestSweepStatus:
     def test_status_counts_checkpoints(self, tmp_path):

@@ -1,0 +1,181 @@
+"""Cross-backend equivalence: VectorizedRunner vs SerialRunner.
+
+The vectorized backend's contract is *bitwise* agreement with the scalar
+reference, per trial: same ``TrialRecord`` for the same ``(seed, index)``
+regardless of backend.  These tests drive both runners over the full
+channel-family grid (the ten families of ``test_legacy_equivalence``) and
+all four registry simulators (repetition, chunk-commit, hierarchical,
+rewind), mirroring that suite's structure:
+
+* where the vectorized backend has a collapsed form (chunk-commit and
+  rewind over the correlated shared-bit channels), the records must match
+  bitwise *and* the batch must actually have run collapsed (no silent
+  fallback making the test vacuous);
+* everywhere else the backend must take its scalar fallback and still
+  produce identical records — including identical *exceptions* when a
+  scheme rejects a channel family outright;
+* sampled vectorized trials replay bitwise on the scalar engine from
+  their ``(seed, index)`` alone — the replayability the determinism
+  contract promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.channels import (
+    BudgetedAdversaryChannel,
+    BurstNoiseChannel,
+    CorrectingAdversaryChannel,
+    CorrelatedNoiseChannel,
+    IndependentNoiseChannel,
+    NoiselessChannel,
+    OneSidedNoiseChannel,
+    ScriptedChannel,
+    SharedFlipReductionChannel,
+    SuppressionNoiseChannel,
+)
+from repro.parallel import (
+    ChannelSpec,
+    SerialRunner,
+    SimulationExecutor,
+    SimulatorSpec,
+    run_trial,
+)
+from repro.simulation import (
+    ChunkCommitSimulator,
+    HierarchicalSimulator,
+    RepetitionSimulator,
+    RewindSimulator,
+)
+from repro.tasks import ParityTask
+from repro.vectorized import VectorizedRunner
+
+# The ten channel families of test_legacy_equivalence, as picklable specs.
+CHANNEL_SPECS = {
+    "noiseless": ChannelSpec.of(NoiselessChannel, seed_kwarg=None),
+    "correlated": ChannelSpec.of(CorrelatedNoiseChannel, 0.15),
+    "one-sided": ChannelSpec.of(OneSidedNoiseChannel, 1 / 3),
+    "suppression": ChannelSpec.of(SuppressionNoiseChannel, 0.2),
+    "independent": ChannelSpec.of(IndependentNoiseChannel, 0.15),
+    "burst": ChannelSpec.of(BurstNoiseChannel, 0.01, 0.5, 0.05, 0.2),
+    "reduction": ChannelSpec.of(SharedFlipReductionChannel),
+    "correcting": ChannelSpec.of(CorrectingAdversaryChannel, 0.25),
+    "budgeted": ChannelSpec.of(BudgetedAdversaryChannel, 5, seed_kwarg=None),
+    "scripted": ChannelSpec.of(
+        ScriptedChannel, [3, 7, 11], seed_kwarg=None
+    ),
+}
+
+SIMULATORS = {
+    "repetition": SimulatorSpec.of(RepetitionSimulator),
+    "chunk": SimulatorSpec.of(ChunkCommitSimulator),
+    "hierarchical": SimulatorSpec.of(HierarchicalSimulator),
+    "rewind": SimulatorSpec.of(RewindSimulator),
+}
+
+#: (simulator, channel) pairs the backend collapses — everything else
+#: must take the scalar fallback.
+COLLAPSED = {
+    (simulator, channel)
+    for simulator in ("chunk", "rewind")
+    for channel in ("noiseless", "correlated", "one-sided", "suppression")
+}
+
+TRIALS = 4
+
+
+def _run(runner, task, executor, seed):
+    """Records, or the raised exception (compared across backends)."""
+    try:
+        return runner.run_trials(task, executor, TRIALS, seed=seed).records
+    except Exception as exc:  # noqa: BLE001 - parity is the assertion
+        return (type(exc), str(exc))
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("channel_name", sorted(CHANNEL_SPECS))
+    @pytest.mark.parametrize("simulator_name", sorted(SIMULATORS))
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_records_bitwise_equal(self, channel_name, simulator_name, n):
+        task = ParityTask(n)
+        executor = SimulationExecutor(
+            task=task,
+            channel=CHANNEL_SPECS[channel_name],
+            simulator=SIMULATORS[simulator_name],
+        )
+        seed = 1000 * n + 7
+        serial = _run(SerialRunner(), task, executor, seed)
+        vectorized_runner = VectorizedRunner()
+        vectorized = _run(vectorized_runner, task, executor, seed)
+        assert vectorized == serial
+        if isinstance(serial, tuple):
+            return  # both raised identically; fallback state is moot
+        if (simulator_name, channel_name) in COLLAPSED:
+            assert vectorized_runner.last_fallback_reason is None
+        else:
+            assert vectorized_runner.last_fallback_reason is not None
+
+    @pytest.mark.parametrize("simulator_name", ["chunk", "rewind"])
+    def test_sampled_trials_replay_on_scalar_engine(self, simulator_name):
+        """Any trial a vectorized sweep records can be reproduced by the
+        scalar ``run_trial`` from its ``(seed, index)`` alone."""
+        task = ParityTask(3)
+        executor = SimulationExecutor(
+            task=task,
+            channel=CHANNEL_SPECS["correlated"],
+            simulator=SIMULATORS[simulator_name],
+        )
+        runner = VectorizedRunner()
+        batch = runner.run_trials(task, executor, 6, seed=99)
+        assert runner.last_fallback_reason is None
+        for index in (0, 2, 5):  # sampled subset
+            assert batch.records[index] == run_trial(
+                task, executor, 99, index
+            )
+
+    def test_observer_events_match(self):
+        """Tracing emits the same trial events from either backend."""
+        from repro.observe import MetricsCollector, Observer
+
+        task = ParityTask(3)
+        executor = SimulationExecutor(
+            task=task,
+            channel=CHANNEL_SPECS["correlated"],
+            simulator=SIMULATORS["chunk"],
+        )
+
+        def trial_events(runner):
+            collector = MetricsCollector()
+            with Observer([collector]) as observer:
+                runner.run_trials(task, executor, 3, seed=5, observe=observer)
+            return [
+                {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("ts", "elapsed_s")
+                }
+                for event in collector.events
+                if event["event"] == "trial"
+            ]
+
+        assert trial_events(VectorizedRunner()) == trial_events(
+            SerialRunner()
+        )
+
+    def test_epsilon_grid_bitwise_equal(self):
+        """Across the epsilon range (including 0), chunk and rewind
+        records agree bitwise between backends."""
+        for epsilon in (0.0, 0.05, 0.3):
+            for simulator_name in ("chunk", "rewind"):
+                task = ParityTask(4)
+                executor = SimulationExecutor(
+                    task=task,
+                    channel=ChannelSpec.of(CorrelatedNoiseChannel, epsilon),
+                    simulator=SIMULATORS[simulator_name],
+                )
+                serial = _run(SerialRunner(), task, executor, 11)
+                vectorized = _run(VectorizedRunner(), task, executor, 11)
+                assert vectorized == serial, (epsilon, simulator_name)
