@@ -15,6 +15,8 @@ Commands:
   a live run, ``merge`` shard runs, ``gc`` the cache
   (see :mod:`repro.service.cli`).
 * ``experiments`` — list the benchmark experiments and how to run them.
+* ``bench calibrate`` — measure the scalar↔vectorized crossover on this
+  machine and write the table the ``auto`` backend planner routes on.
 
 Every subcommand that runs trials shares the same execution surface
 (:func:`add_common_run_args`: ``--trials/--seed/--workers``), builds
@@ -239,6 +241,26 @@ def _run_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_calibrate(args: argparse.Namespace) -> int:
+    from repro.parallel.calibrate import run_calibration, write_crossover
+    from repro.parallel.planner import DEFAULT_CROSSOVER_PATH
+
+    table = run_calibration(
+        n_grid=tuple(args.ns),
+        budget_s=args.budget,
+        seed=args.seed,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    path = args.output or DEFAULT_CROSSOVER_PATH
+    write_crossover(table, path)
+    print(f"wrote {path}", file=sys.stderr)
+    for scheme, entry in sorted(table["schemes"].items()):
+        min_n = entry["vectorized_min_n"]
+        shown = "never" if min_n > 4096 else str(min_n)
+        print(f"{scheme}: vectorized from n >= {shown}")
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY
 
@@ -319,8 +341,11 @@ def add_common_run_args(
         "--backend",
         choices=RUNNER_BACKENDS,
         default="auto",
-        help="trial-runner backend (auto: serial unless --workers > 1; "
-        "vectorized: trial-batched numpy backend, results identical)",
+        help="trial-runner backend (auto: calibrated per-batch planner "
+        "over the measured crossover table — see 'repro bench "
+        "calibrate'; vectorized: trial-batched numpy backend; "
+        "vectorized-process: vectorized stripes over a process pool; "
+        "results are identical for every choice)",
     )
 
 
@@ -400,6 +425,38 @@ def build_parser() -> argparse.ArgumentParser:
     overhead.set_defaults(func=cmd_overhead)
 
     add_sweep_parser(subparsers)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark utilities (crossover calibration)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    calibrate = bench_sub.add_parser(
+        "calibrate",
+        help="measure the scalar vs vectorized crossover per scheme and "
+        "write the table the auto planner routes on",
+    )
+    calibrate.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8, 16, 32],
+        help="party counts to measure (crossovers are monotone in n)",
+    )
+    calibrate.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        help="wall-clock seconds per (scheme, n, engine) measurement; "
+        "trial counts are derived from it, not hard-coded",
+    )
+    calibrate.add_argument("--seed", type=int, default=2026)
+    calibrate.add_argument(
+        "-o",
+        "--output",
+        help="where to write the table (default: the packaged "
+        "crossover.json; $REPRO_CROSSOVER overrides reads)",
+    )
+    calibrate.set_defaults(func=cmd_bench_calibrate)
 
     experiments = subparsers.add_parser(
         "experiments", help="list the E1-E13 experiments"

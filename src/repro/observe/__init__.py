@@ -59,8 +59,17 @@ event                     fields
                           ``success``, ``rounds``, ``flips``,
                           ``total_energy``; serial backends add
                           ``elapsed_s``
-``worker_chunk``          process-pool only, one per dispatched chunk:
-                          ``chunk``, ``trials``, ``busy_s``
+``worker_chunk``          pool backends only, one per dispatched chunk
+                          (vectorized-process: per stripe): ``chunk``,
+                          ``trials``, ``busy_s``
+``backend_selected``      ``backend=auto`` planner, one per batch:
+                          ``backend``, ``reason``, ``scheme``, ``n``,
+                          ``trials``, ``workers``, plus the delegated
+                          runner's observed ``fallback_reason`` (null
+                          when the batch ran as planned).  Machine-
+                          dependent by design — it reflects the local
+                          crossover calibration and CPU count, never
+                          the results
 ``sweep_batch``           one per ``run_trials`` batch: ``trials``,
                           ``workers``, ``utilization``, ``elapsed_s``,
                           ``parallel``, ``fallback``, plus the merged
@@ -84,7 +93,8 @@ event                     fields
 ========================  ======================================================
 
 Wall-clock fields (``elapsed_s``, ``busy_s``, ``utilization``) vary run
-to run; every other field is seed-determined and backend-invariant.
+to run, and ``backend_selected`` varies by machine; every other field is
+seed-determined and backend-invariant.
 """
 
 from repro.observe.observer import NO_OBSERVER, NullObserver, Observer

@@ -184,10 +184,17 @@ class SummarySink(Sink):
     def __init__(self, stream: IO[str] | None = None) -> None:
         self._stream = stream
         self.counters: dict[str, float] = {}
+        #: Per-backend ``backend_selected`` counts: the auto planner's
+        #: choices are strings, which the numeric aggregation rule would
+        #: otherwise drop from the summary entirely.
+        self.backends: dict[str, int] = {}
         self._closed = False
 
     def handle(self, record: Mapping[str, Any]) -> None:
         _accumulate(self.counters, record)
+        if record.get("event") == "backend_selected":
+            backend = str(record.get("backend"))
+            self.backends[backend] = self.backends.get(backend, 0) + 1
 
     def render(self) -> str:
         """The summary as text (what :meth:`close` prints)."""
@@ -212,6 +219,12 @@ class SummarySink(Sink):
                 lines.append(
                     f"    {name.split('.', 1)[1]:<20} {rendered}"
                 )
+            if event == "backend_selected":
+                for backend in sorted(self.backends):
+                    lines.append(
+                        f"    backend={backend:<12} "
+                        f"x{self.backends[backend]}"
+                    )
         return "\n".join(lines)
 
     def close(self) -> None:

@@ -5,13 +5,19 @@ over a :class:`TrialRunner` backend:
 
 * :class:`SerialRunner` — the historical in-process loop;
 * :class:`ProcessPoolRunner` — chunked dispatch over a reusable process
-  pool, with graceful serial fallback.
+  pool, with graceful serial fallback;
+* ``VectorizedRunner`` / ``VectorizedProcessRunner``
+  (:mod:`repro.vectorized`) — party-collapsed numpy batches, single-core
+  or striped across a pool of vectorized workers;
+* :class:`~repro.parallel.planner.AutoRunner` (``backend="auto"``) — a
+  per-batch planner routing between all of the above on a measured
+  crossover table (``repro bench calibrate``).
 
-Both backends produce **bitwise identical** results for the same master
+All backends produce **bitwise identical** results for the same master
 seed (see :mod:`repro.parallel.runner` for the determinism contract), so
-switching is purely a wall-clock decision: ``--workers N`` on the CLI,
-``REPRO_WORKERS=N`` for the benchmark harness, or :func:`use_runner` /
-:func:`set_default_runner` from code.
+switching is purely a wall-clock decision: ``--workers N`` /
+``--backend`` on the CLI, ``REPRO_WORKERS=N`` for the benchmark harness,
+or :func:`use_runner` / :func:`set_default_runner` from code.
 
 Closure executors cannot cross process boundaries; the picklable specs in
 :mod:`repro.parallel.executors` (:class:`ProtocolExecutor`,
@@ -60,7 +66,13 @@ _default_runner: TrialRunner = SerialRunner()
 
 
 #: Backend names ``make_runner`` accepts (the CLI's ``--backend`` choices).
-RUNNER_BACKENDS = ("auto", "serial", "process", "vectorized")
+RUNNER_BACKENDS = (
+    "auto",
+    "serial",
+    "process",
+    "vectorized",
+    "vectorized-process",
+)
 
 
 def make_runner(
@@ -70,15 +82,24 @@ def make_runner(
 ) -> TrialRunner:
     """A runner from the backend registry.
 
-    ``backend`` selects explicitly: ``"serial"``, ``"process"`` (a pool of
-    ``workers``), or ``"vectorized"`` (the trial-batched numpy backend of
+    ``backend`` selects explicitly: ``"serial"``, ``"process"`` (a pool
+    of ``workers``), ``"vectorized"`` (the trial-batched numpy backend of
     :mod:`repro.vectorized`; requires numpy, scalar-fallback for batches
-    it cannot collapse).  ``None``/``"auto"`` keeps the historical rule:
-    serial when ``workers <= 1``, a process pool otherwise.  Every
-    backend honours the determinism contract, so the choice is purely a
-    wall-clock decision.
+    it cannot collapse), or ``"vectorized-process"`` (the composed
+    backend: contiguous trial stripes over a pool of vectorized
+    workers).  ``"auto"`` returns the calibrated per-batch planner
+    (:class:`~repro.parallel.planner.AutoRunner`), which routes each
+    batch on the measured crossover table.  ``None`` keeps the
+    historical rule: serial when ``workers <= 1``, a process pool
+    otherwise.  Every backend honours the determinism contract, so the
+    choice is purely a wall-clock decision.
     """
-    if backend is None or backend == "auto":
+    if backend == "auto":
+        # Imported lazily, like the vectorized backends it plans over.
+        from repro.parallel.planner import AutoRunner
+
+        return AutoRunner(workers=workers, chunk_size=chunk_size)
+    if backend is None:
         if workers is None or workers <= 1:
             return SerialRunner()
         return ProcessPoolRunner(workers=workers, chunk_size=chunk_size)
@@ -92,6 +113,12 @@ def make_runner(
         from repro.vectorized import VectorizedRunner
 
         return VectorizedRunner()
+    if backend == "vectorized-process":
+        from repro.vectorized import VectorizedProcessRunner
+
+        return VectorizedProcessRunner(
+            workers=workers, chunk_size=chunk_size
+        )
     from repro.errors import ConfigurationError
 
     raise ConfigurationError(

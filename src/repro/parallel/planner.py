@@ -1,0 +1,283 @@
+"""The calibrated ``auto`` backend planner.
+
+``make_runner(backend="auto")`` returns an :class:`AutoRunner` that picks
+a concrete backend *per batch* — serial, process, vectorized, or the
+composed vectorized-process — from a measured crossover table instead of
+a hard-coded rule.  The table (:mod:`repro.parallel` package data
+``crossover.json``, refreshable with ``repro bench calibrate``) records,
+per scheme, the smallest party count at which the party-collapsed
+vectorized path actually beats the scalar engine on the calibrating
+machine; below it the planner dispatches scalar even though a collapsed
+form exists.  That is the fix for the small-``n`` regression: the rewind
+collapse *loses* to the scalar engine at ``n = 8`` (the per-trial numpy
+setup outweighs the tiny round count), and a planner that routes on
+capability instead of measurement would ship that loss to every
+``backend=auto`` user.
+
+The choice is purely wall-clock: every backend is bitwise-identical for
+the same ``(seed, index)``, so the planner can never change a result —
+only how fast it arrives.  Each decision is recorded in
+:attr:`AutoRunner.last_decision` and, when tracing, emitted as a
+``backend_selected`` event (machine-dependent by design: it reflects the
+local calibration and CPU count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe import Observer
+
+from repro.parallel.runner import (
+    Executor,
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialBatch,
+    TrialRunner,
+)
+from repro.rng import derive_seed
+from repro.tasks.base import Task
+
+__all__ = ["AutoRunner", "load_crossover", "DEFAULT_CROSSOVER_PATH"]
+
+#: The shipped calibration table (regenerate: ``repro bench calibrate``).
+DEFAULT_CROSSOVER_PATH = os.path.join(
+    os.path.dirname(__file__), "crossover.json"
+)
+
+#: Environment override so a locally calibrated table can be used without
+#: editing the installed package.
+CROSSOVER_ENV = "REPRO_CROSSOVER"
+
+_cached_table: dict | None = None
+_cached_path: str | None = None
+
+
+def load_crossover(path: str | None = None) -> dict:
+    """The crossover table: ``path`` arg, else ``$REPRO_CROSSOVER``, else
+    the shipped package data.  Cached per path; missing or unreadable
+    tables degrade to an empty dict (the planner then uses its
+    conservative defaults rather than failing the sweep)."""
+    global _cached_table, _cached_path
+    resolved = path or os.environ.get(CROSSOVER_ENV) or DEFAULT_CROSSOVER_PATH
+    if _cached_table is not None and _cached_path == resolved:
+        return _cached_table
+    try:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            table = json.load(handle)
+        if not isinstance(table, dict):
+            table = {}
+    except (OSError, ValueError):
+        table = {}
+    _cached_table = table
+    _cached_path = resolved
+    return table
+
+
+def _reset_crossover_cache() -> None:
+    """Test hook / post-calibration refresh."""
+    global _cached_table, _cached_path
+    _cached_table = None
+    _cached_path = None
+
+
+class AutoRunner(TrialRunner):
+    """Per-batch backend planner over the measured crossover table.
+
+    Args:
+        workers: The parallelism budget; ``1`` (or ``None``) restricts
+            the plan to in-process backends.
+        chunk_size: Forwarded to whichever pool backend gets picked.
+        crossover: An explicit table (tests); ``None`` loads via
+            :func:`load_crossover`.
+
+    Sub-runners are constructed lazily and cached, so a sweep that
+    alternates between collapsible and scalar points reuses one pool and
+    one warmed vectorized runner throughout.
+    """
+
+    #: Used for any scheme the table has no entry for.
+    DEFAULT_VECTORIZED_MIN_N = 16
+    #: Below this many trials a pool's dispatch overhead cannot pay off.
+    DEFAULT_PROCESS_MIN_TRIALS = 8
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        chunk_size: int | None = None,
+        crossover: dict | None = None,
+    ) -> None:
+        self._workers = workers if workers is not None else 1
+        self._chunk_size = chunk_size
+        self._crossover = crossover
+        self._runners: dict[str, TrialRunner] = {}
+        self.last_fallback_reason: str | None = None
+        #: The most recent plan: ``{"backend", "reason", "scheme", "n",
+        #: "trials", "workers"}`` (``None`` before the first batch).
+        self.last_decision: dict[str, Any] | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _table(self) -> dict:
+        if self._crossover is not None:
+            return self._crossover
+        return load_crossover()
+
+    def _collapse_probe(
+        self, executor: Executor, seed: int
+    ) -> tuple[str | None, str | None]:
+        """``(scheme_name, None)`` when the batch can collapse, else
+        ``(scheme_name_or_None, reason)`` mirroring the vectorized
+        runner's classification (without requiring numpy)."""
+        from repro.parallel.executors import SimulationExecutor
+
+        if not isinstance(executor, SimulationExecutor):
+            return None, "executor is not a SimulationExecutor"
+        simulator = executor.simulator.make()
+        scheme = type(simulator).__name__
+        try:
+            from repro.vectorized.noise import HAVE_NUMPY
+            from repro.vectorized.runner import _COLLAPSED_SCHEMES
+            from repro.vectorized.schemes import CHANNEL_KINDS
+        except ImportError:  # pragma: no cover - broken install
+            return scheme, "vectorized package unavailable"
+        if not HAVE_NUMPY:
+            return scheme, "numpy unavailable"
+        if type(simulator) not in _COLLAPSED_SCHEMES:
+            return scheme, f"no collapsed form for {scheme}"
+        probe = executor.channel.make(derive_seed(seed, "trial[0]"))
+        if type(probe) not in CHANNEL_KINDS:
+            return scheme, (
+                f"no collapsed replay for {type(probe).__name__}"
+            )
+        return scheme, None
+
+    def _plan(
+        self, task: Task, executor: Executor, trials: int, seed: int
+    ) -> tuple[str, str, str | None, int | None]:
+        """``(backend, reason, scheme, n)`` for this batch."""
+        table = self._table()
+        scheme, no_collapse = self._collapse_probe(executor, seed)
+        n = getattr(task, "n_parties", None)
+        process_min_trials = int(
+            table.get(
+                "process_min_trials", self.DEFAULT_PROCESS_MIN_TRIALS
+            )
+        )
+        pool_ok = (
+            self._workers > 1 and trials >= process_min_trials
+        )
+        if no_collapse is None:
+            entry = table.get("schemes", {}).get(scheme, {})
+            min_n = int(
+                entry.get(
+                    "vectorized_min_n",
+                    table.get(
+                        "default_vectorized_min_n",
+                        self.DEFAULT_VECTORIZED_MIN_N,
+                    ),
+                )
+            )
+            if n is not None and n < min_n:
+                # Measured crossover says the collapse *loses* here.
+                reason = (
+                    f"n={n} below measured vectorized crossover "
+                    f"{min_n} for {scheme}"
+                )
+                if pool_ok:
+                    return "process", reason, scheme, n
+                return "serial", reason, scheme, n
+            reason = (
+                f"collapsible {scheme} at n={n} >= crossover {min_n}"
+            )
+            if pool_ok:
+                return (
+                    "vectorized-process",
+                    reason + f"; striping over {self._workers} workers",
+                    scheme,
+                    n,
+                )
+            return "vectorized", reason, scheme, n
+        if pool_ok:
+            return (
+                "process",
+                f"{no_collapse}; pooling over {self._workers} workers",
+                scheme,
+                n,
+            )
+        if self._workers > 1:
+            return (
+                "serial",
+                f"{no_collapse}; {trials} trials below pool "
+                f"threshold {process_min_trials}",
+                scheme,
+                n,
+            )
+        return "serial", no_collapse, scheme, n
+
+    def _runner_for(self, backend: str) -> TrialRunner:
+        runner = self._runners.get(backend)
+        if runner is not None:
+            return runner
+        if backend == "serial":
+            runner = SerialRunner()
+        elif backend == "process":
+            runner = ProcessPoolRunner(
+                workers=self._workers, chunk_size=self._chunk_size
+            )
+        elif backend == "vectorized":
+            from repro.vectorized import VectorizedRunner
+
+            runner = VectorizedRunner()
+        else:  # "vectorized-process"
+            from repro.vectorized import VectorizedProcessRunner
+
+            runner = VectorizedProcessRunner(
+                workers=self._workers, chunk_size=self._chunk_size
+            )
+        self._runners[backend] = runner
+        return runner
+
+    def run_trials(
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
+    ) -> TrialBatch:
+        backend, reason, scheme, n = self._plan(
+            task, executor, trials, seed
+        )
+        self.last_decision = {
+            "backend": backend,
+            "reason": reason,
+            "scheme": scheme,
+            "n": n,
+            "trials": trials,
+            "workers": self._workers,
+        }
+        runner = self._runner_for(backend)
+        batch = runner.run_trials(
+            task, executor, trials, seed=seed, observe=observe
+        )
+        self.last_fallback_reason = getattr(
+            runner, "last_fallback_reason", None
+        )
+        self.last_decision["fallback_reason"] = self.last_fallback_reason
+        if observe is not None and observe.enabled:
+            # Emitted after the batch so the event can also report the
+            # delegated runner's observed downgrade, not just the plan.
+            observe.emit("backend_selected", **self.last_decision)
+        return batch
+
+    def close(self) -> None:
+        for runner in self._runners.values():
+            runner.close()
+        self._runners.clear()

@@ -152,6 +152,10 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
 
     hits = collector.count("cache_hit")
     computed = collector.count("cache_miss")
+    decisions: dict[str, int] = {}
+    for record in collector.events_of("backend_selected"):
+        chosen = str(record.get("backend"))
+        decisions[chosen] = decisions.get(chosen, 0) + 1
     summary = {
         "grid": grid.grid_key(),
         "cache_dir": str(store.root),
@@ -159,6 +163,14 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
         "computed": computed,
         "hits": hits,
         "shard": args.shard or None,
+        "backend": args.backend,
+        "workers": args.workers,
+        # The auto planner's per-batch choices and the last runner-level
+        # downgrade reason (None when every batch ran as selected).
+        "backend_decisions": decisions,
+        "last_fallback_reason": getattr(
+            runner, "last_fallback_reason", None
+        ),
     }
     _print_summary(
         summary,
@@ -208,6 +220,29 @@ def cmd_sweep_status(args: argparse.Namespace) -> int:
             name = record.get("event", "?")
             counts[name] = counts.get(name, 0) + 1
         summary["events"] = counts
+        # Planner visibility: which backends the auto planner picked and
+        # the last runner-level downgrade it observed (the
+        # backend_selected events carry both; see repro.observe).
+        selections = [
+            record
+            for record in events
+            if record.get("event") == "backend_selected"
+        ]
+        if selections:
+            backends: dict[str, int] = {}
+            for record in selections:
+                chosen = str(record.get("backend"))
+                backends[chosen] = backends.get(chosen, 0) + 1
+            summary["backend_decisions"] = backends
+            summary["last_backend_reason"] = selections[-1].get("reason")
+            summary["last_fallback_reason"] = next(
+                (
+                    record.get("fallback_reason")
+                    for record in reversed(selections)
+                    if record.get("fallback_reason") is not None
+                ),
+                None,
+            )
     complete = status["done"] == status["total"]
     human = (
         f"sweep {grid.grid_key()[:12]}: {status['done']}/{status['total']} "
@@ -216,6 +251,11 @@ def cmd_sweep_status(args: argparse.Namespace) -> int:
     )
     if args.events and not args.json:
         human += f"\n  events: {summary.get('events', {})}"
+        if "backend_decisions" in summary:
+            human += (
+                f"\n  backends: {summary['backend_decisions']}"
+                f" (last fallback: {summary['last_fallback_reason']})"
+            )
     _print_summary(summary, args, human)
     return 0 if complete else 1
 

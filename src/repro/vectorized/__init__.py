@@ -10,15 +10,22 @@ bit-matrices, bitwise-equivalent to the scalar engine trial by trial:
   the byte-per-position mask bridge to the scalar decoder;
 * :mod:`repro.vectorized.decoder` — whole-codebook ML decoding;
 * :mod:`repro.vectorized.schemes` — the collapsed chunk-commit and
-  rewind simulations;
+  rewind simulations, plus the shared phase-1/2 machinery;
+* :mod:`repro.vectorized.schemes_repetition` /
+  :mod:`repro.vectorized.schemes_hierarchical` — the collapsed
+  repetition and Appendix-D.2 hierarchy simulations;
 * :mod:`repro.vectorized.runner` — :class:`VectorizedRunner`, with
-  scalar fallback for batches it cannot collapse.
+  scalar fallback for batches it cannot collapse;
+* :mod:`repro.vectorized.process_runner` —
+  :class:`VectorizedProcessRunner`, the composed backend striping a
+  batch across a process pool of vectorized workers.
 
-Importing this package never requires numpy; constructing the runner (or
+Importing this package never requires numpy; constructing a runner (or
 calling any vectorized entry point) raises a clear
 :class:`~repro.errors.ConfigurationError` when numpy is missing.  Select
-the backend with ``make_runner(backend="vectorized")`` or
-``--backend vectorized`` on the CLI.
+the backends with ``make_runner(backend="vectorized")`` /
+``make_runner(backend="vectorized-process")`` or the matching
+``--backend`` values on the CLI.
 """
 
 from repro.vectorized.bitmatrix import (
@@ -36,6 +43,7 @@ from repro.vectorized.noise import (
     numpy_stream,
     require_numpy,
 )
+from repro.vectorized.process_runner import VectorizedProcessRunner
 from repro.vectorized.runner import VectorizedRunner
 from repro.vectorized.schemes import (
     CHANNEL_KINDS,
@@ -43,6 +51,8 @@ from repro.vectorized.schemes import (
     simulate_chunked,
     simulate_rewind,
 )
+from repro.vectorized.schemes_hierarchical import simulate_hierarchical
+from repro.vectorized.schemes_repetition import simulate_repetition
 
 __all__ = [
     "HAVE_NUMPY",
@@ -60,5 +70,8 @@ __all__ = [
     "CollapsedOutcome",
     "simulate_chunked",
     "simulate_rewind",
+    "simulate_repetition",
+    "simulate_hierarchical",
     "VectorizedRunner",
+    "VectorizedProcessRunner",
 ]

@@ -21,7 +21,7 @@ engine from its ``(seed, index)`` alone, which is what the cross-backend
 equivalence suite does.
 
 Batches the backend cannot collapse (non-simulation executors, simulators
-other than chunk-commit/rewind, channel families outside the correlated
+outside the collapsed registry, channel families outside the correlated
 shared-bit model) run through the scalar :func:`run_trial` loop instead —
 same records, with ``timing["fallback"]`` set and the reason in
 ``last_fallback_reason``, mirroring the process-pool backend's downgrade
@@ -43,12 +43,15 @@ from repro.parallel.runner import (
     TrialRecord,
     TrialRunner,
     _emit_batch_events,
+    _run_chunk,
     _serial_records,
     _timing,
     _validate_trials,
 )
 from repro.rng import derive_seed, spawn
 from repro.simulation.chunked import ChunkCommitSimulator
+from repro.simulation.hierarchical import HierarchicalSimulator
+from repro.simulation.repetition_sim import RepetitionSimulator
 from repro.simulation.rewind import RewindSimulator
 from repro.tasks.base import Task
 from repro.vectorized.noise import BatchFlips, require_numpy
@@ -57,6 +60,8 @@ from repro.vectorized.schemes import (
     simulate_chunked,
     simulate_rewind,
 )
+from repro.vectorized.schemes_hierarchical import simulate_hierarchical
+from repro.vectorized.schemes_repetition import simulate_repetition
 
 __all__ = ["VectorizedRunner"]
 
@@ -65,6 +70,8 @@ __all__ = ["VectorizedRunner"]
 _COLLAPSED_SCHEMES = {
     ChunkCommitSimulator: simulate_chunked,
     RewindSimulator: simulate_rewind,
+    RepetitionSimulator: simulate_repetition,
+    HierarchicalSimulator: simulate_hierarchical,
 }
 
 
@@ -143,32 +150,29 @@ class VectorizedRunner(TrialRunner):
             _emit_batch_events(observe, batch, trial_times=times)
         return batch
 
-    def run_trials(
+    def _collapsed_records(
         self,
+        route: tuple,
         task: Task,
         executor: Executor,
-        trials: int,
-        *,
-        seed: int = 0,
-        observe: "Observer | None" = None,
-    ) -> TrialBatch:
-        _validate_trials(trials)
-        route, reason = self._classify(executor, seed)
-        if route is None:
-            return self._serial_fallback(
-                task, executor, trials, seed, reason, observe
-            )
-        simulator, collapsed = route
-        self.last_fallback_reason = None
-        tracing = observe is not None and observe.enabled
+        seed: int,
+        indices: list[int],
+        collect_times: bool = False,
+    ) -> tuple[list[TrialRecord], list[float] | None]:
+        """Run the given global trial indices through a collapsed scheme.
 
-        start = time.perf_counter()
+        The per-trial seed labels use the *global* index, so a stripe of
+        a larger batch produces exactly the records a whole-batch run
+        would for those indices — the composed process backend's
+        correctness hinges on this.
+        """
+        simulator, collapsed = route
         # The exact per-trial channel constructions run_trial's executor
         # would make, batched up front so their noise streams can be
         # prefetched as one packed trial x draw bit-matrix.
         channels = [
             executor.channel.make(derive_seed(seed, f"trial[{index}]"))
-            for index in range(trials)
+            for index in indices
         ]
         epsilon = getattr(channels[0], "epsilon", 0.0)
         flip_rows: BatchFlips | None = None
@@ -180,17 +184,17 @@ class VectorizedRunner(TrialRunner):
             )
 
         records: list[TrialRecord] = []
-        times: list[float] | None = [] if tracing else None
-        last = start
-        for index in range(trials):
+        times: list[float] | None = [] if collect_times else None
+        last = time.perf_counter()
+        for row, index in enumerate(indices):
             inputs = task.sample_inputs(spawn(seed, f"inputs[{index}]"))
             outcome = collapsed(
                 simulator,
                 task.noiseless_protocol(),
                 inputs,
-                channels[index],
+                channels[row],
                 flips=(
-                    flip_rows.stream(index)
+                    flip_rows.stream(row)
                     if flip_rows is not None
                     else None
                 ),
@@ -217,6 +221,62 @@ class VectorizedRunner(TrialRunner):
                 now = time.perf_counter()
                 times.append(now - last)
                 last = now
+        return records, times
+
+    def run_indices(
+        self,
+        task: Task,
+        executor: Executor,
+        seed: int,
+        indices: list[int],
+    ) -> tuple[list[TrialRecord], float]:
+        """Run an arbitrary list of global trial indices — the composed
+        process backend's stripe unit.
+
+        Returns ``(records, busy_seconds)``.  Batches that cannot
+        collapse run the scalar :func:`run_trial` loop over the same
+        indices (``last_fallback_reason`` records why), so a stripe is
+        always bitwise-identical to the corresponding slice of any other
+        backend's batch.
+        """
+        start = time.perf_counter()
+        route, reason = self._classify(executor, seed)
+        if route is None:
+            self.last_fallback_reason = reason
+            return _run_chunk(task, executor, seed, list(indices))
+        self.last_fallback_reason = None
+        records, _ = self._collapsed_records(
+            route, task, executor, seed, list(indices)
+        )
+        return records, time.perf_counter() - start
+
+    def run_trials(
+        self,
+        task: Task,
+        executor: Executor,
+        trials: int,
+        *,
+        seed: int = 0,
+        observe: "Observer | None" = None,
+    ) -> TrialBatch:
+        _validate_trials(trials)
+        route, reason = self._classify(executor, seed)
+        if route is None:
+            return self._serial_fallback(
+                task, executor, trials, seed, reason, observe
+            )
+        self.last_fallback_reason = None
+        tracing = observe is not None and observe.enabled
+
+        start = time.perf_counter()
+        records, times = self._collapsed_records(
+            route,
+            task,
+            executor,
+            seed,
+            list(range(trials)),
+            collect_times=tracing,
+        )
         elapsed = time.perf_counter() - start
         batch = TrialBatch(
             records=records,

@@ -64,6 +64,11 @@ __all__ = [
     "simulate_rewind",
 ]
 
+# NOTE: the collapsed repetition and hierarchical forms live in
+# repro.vectorized.schemes_repetition / schemes_hierarchical; they build
+# on the shared machinery here (_SharedChannel, _InnerPrograms,
+# _chunk_phase12, _chunk_flags, _shared_codebook).
+
 #: Channel classes the collapsed schemes can replay bitwise, mapped to the
 #: draw rule their noise follows (see ``_SharedChannel``).  Exact types:
 #: a subclass may override delivery and must take the scalar path.
@@ -316,6 +321,153 @@ def _shared_channel(
     return _SharedChannel(kind, flips)
 
 
+def _shared_codebook(params, chunk_length: int, noise, codebook_cache):
+    """The owners codebook + vectorized decoder for one parameter point,
+    via the batch-shared cache.
+
+    Both chunk schemes — the iterative chunk-commit and the hierarchical
+    ``A_l`` — construct the codebook with identical parameters, so a
+    cache entry warmed by one is safely reused by the other.
+    """
+    cache_key = (
+        chunk_length,
+        params.code_rate_constant,
+        params.code_seed,
+        noise.up,
+        noise.down,
+    )
+    cached = (
+        codebook_cache.get(cache_key) if codebook_cache is not None else None
+    )
+    if cached is not None:
+        return cached
+    code = build_owners_code(
+        chunk_length,
+        rate_constant=params.code_rate_constant,
+        seed=params.code_seed,
+    )
+    decoder = VectorizedMLDecoder(code, noise)
+    if codebook_cache is not None:
+        codebook_cache[cache_key] = (code, decoder)
+    return code, decoder
+
+
+def _chunk_phase12(
+    programs: _InnerPrograms,
+    shared: _SharedChannel,
+    energy: "_np.ndarray",
+    chunk_rounds: int,
+    repetitions: int,
+    n_parties: int,
+    codebook,
+    codeword_weights,
+    decoder: VectorizedMLDecoder,
+):
+    """Phases 1+2 of Algorithm 1 over the live programs, collapsed.
+
+    Phase 1 repetition-hardens ``chunk_rounds`` virtual rounds into the
+    chunk transcript ``pi`` (advancing the programs as it goes); phase 2
+    runs the finding-owners phase.  Returns ``(pi, beep_rows,
+    beep_matrix, owners, claimed_by)`` and accrues per-party ``energy``
+    in place — exactly the shared quantities both chunk schemes verify
+    against.
+    """
+    # Phase 1: repetition-harden each virtual round into pi.  The
+    # window's received ones collapse to one popcount of the flip
+    # stream; the majority rule matches repeated_bit exactly.
+    beep_rows: list[list[int]] = [[] for _ in range(n_parties)]
+    pi: list[int] = []
+    for _ in range(chunk_rounds):
+        beeps = 0
+        bits = programs.bits
+        for index, bit in enumerate(bits):
+            if bit is None:
+                raise ProtocolError(
+                    "inner protocol shorter than its declared length"
+                )
+            beep_rows[index].append(bit)
+            beeps += bit
+        or_value = 1 if beeps else 0
+        ones = shared.window(or_value, beeps, repetitions)
+        decoded = 1 if 2 * ones > repetitions else 0
+        pi.append(decoded)
+        programs.advance(decoded)
+    beep_matrix = _np.array(beep_rows, dtype=_np.uint8)
+    energy += beep_matrix.sum(axis=1, dtype=_np.int64) * repetitions
+
+    # Phase 2: finding owners.  All shared bookkeeping (turn, claimed
+    # set, owner table) is computed once instead of once per party;
+    # only the speaker's claimed-by-me record is party-local.
+    ones_positions = [j for j, bit in enumerate(pi) if bit == 1]
+    iterations = len(ones_positions) + n_parties
+    claimed: set[int] = set()
+    owners: dict[int, int] = {}
+    claimed_by: list[set[int]] = [set() for _ in range(n_parties)]
+    turn = 0
+    for _ in range(iterations):
+        if 0 <= turn < n_parties:
+            speaker = turn
+            row = beep_rows[speaker]
+            candidate = next(
+                (
+                    j
+                    for j in ones_positions
+                    if row[j] == 1 and j not in claimed
+                ),
+                None,
+            )
+            sent_symbol = (
+                NEXT if candidate is None else position_symbol(candidate)
+            )
+            word = codebook[sent_symbol]
+            weight = int(codeword_weights[sent_symbol])
+            energy[speaker] += weight
+        else:
+            speaker = None
+            sent_symbol = None
+            word = codebook[0]  # SILENCE: the all-zero codeword
+            weight = 0
+        received = shared.word(word, weight)
+        decoded_symbol = decoder.decode(received)
+        if decoded_symbol == NEXT:
+            turn += 1
+        else:
+            position = symbol_position(decoded_symbol)
+            if position is not None and position < len(pi):
+                claimed.add(position)
+                if 0 <= turn < n_parties:
+                    owners[position] = turn
+                if speaker is not None and decoded_symbol == sent_symbol:
+                    claimed_by[speaker].add(position)
+    return pi, beep_rows, beep_matrix, owners, claimed_by
+
+
+def _chunk_flags(
+    pi: list[int],
+    beep_matrix: "_np.ndarray",
+    owners: dict[int, int],
+    claimed_by: list[set[int]],
+) -> "_np.ndarray":
+    """Per-party error flags for one simulated chunk (vectorized
+    :func:`~repro.simulation.chunk_common.chunk_error_flag`):
+
+    * ``pi_p = 0`` but the party beeped 1 — its beep was suppressed;
+    * ``pi_p = 1`` with no owner — shared state, every party flags;
+    * a party owns a position it never successfully claimed.
+    """
+    pi_row = _np.array(pi, dtype=_np.uint8)
+    flags = ((beep_matrix == 1) & (pi_row == 0)).any(axis=1)
+    if any(
+        value == 1 and position not in owners
+        for position, value in enumerate(pi)
+    ):
+        flags[:] = True
+    for position, owner in owners.items():
+        if pi[position] == 1 and position not in claimed_by[owner]:
+            flags[owner] = True
+    return flags
+
+
 def simulate_chunked(
     simulator: ChunkCommitSimulator,
     protocol: Protocol,
@@ -358,27 +510,9 @@ def simulate_chunked(
         math.ceil(params.attempt_slack * num_chunks) + params.attempt_extra
     )
 
-    cache_key = (
-        chunk_length,
-        params.code_rate_constant,
-        params.code_seed,
-        noise.up,
-        noise.down,
+    code, decoder = _shared_codebook(
+        params, chunk_length, noise, codebook_cache
     )
-    cached = (
-        codebook_cache.get(cache_key) if codebook_cache is not None else None
-    )
-    if cached is None:
-        code = build_owners_code(
-            chunk_length,
-            rate_constant=params.code_rate_constant,
-            seed=params.code_seed,
-        )
-        decoder = VectorizedMLDecoder(code, noise)
-        if codebook_cache is not None:
-            codebook_cache[cache_key] = (code, decoder)
-    else:
-        code, decoder = cached
 
     report = SimulationReport(
         scheme=type(simulator).__name__,
@@ -409,86 +543,21 @@ def simulate_chunked(
             # outer party, on *every* attempt).
             programs.rebuild(committed)
 
-        # Phase 1: repetition-harden each virtual round into pi.  The
-        # window's received ones collapse to one popcount of the flip
-        # stream; the majority rule matches repeated_bit exactly.
-        beep_rows: list[list[int]] = [[] for _ in range(n_parties)]
-        pi: list[int] = []
-        for _ in range(chunk_rounds):
-            beeps = 0
-            bits = programs.bits
-            for index, bit in enumerate(bits):
-                if bit is None:
-                    raise ProtocolError(
-                        "inner protocol shorter than its declared length"
-                    )
-                beep_rows[index].append(bit)
-                beeps += bit
-            or_value = 1 if beeps else 0
-            ones = shared.window(or_value, beeps, repetitions)
-            decoded = 1 if 2 * ones > repetitions else 0
-            pi.append(decoded)
-            programs.advance(decoded)
-        beep_matrix = _np.array(beep_rows, dtype=_np.uint8)
-        energy += beep_matrix.sum(axis=1, dtype=_np.int64) * repetitions
-
-        # Phase 2: finding owners.  All shared bookkeeping (turn, claimed
-        # set, owner table) is computed once instead of once per party;
-        # only the speaker's claimed-by-me record is party-local.
-        ones_positions = [j for j, bit in enumerate(pi) if bit == 1]
-        iterations = len(ones_positions) + n_parties
-        claimed: set[int] = set()
-        owners: dict[int, int] = {}
-        claimed_by: list[set[int]] = [set() for _ in range(n_parties)]
-        turn = 0
-        for _ in range(iterations):
-            if 0 <= turn < n_parties:
-                speaker = turn
-                row = beep_rows[speaker]
-                candidate = next(
-                    (
-                        j
-                        for j in ones_positions
-                        if row[j] == 1 and j not in claimed
-                    ),
-                    None,
-                )
-                sent_symbol = (
-                    NEXT if candidate is None else position_symbol(candidate)
-                )
-                word = codebook[sent_symbol]
-                weight = int(codeword_weights[sent_symbol])
-                energy[speaker] += weight
-            else:
-                speaker = None
-                sent_symbol = None
-                word = codebook[0]  # SILENCE: the all-zero codeword
-                weight = 0
-            received = shared.word(word, weight)
-            decoded_symbol = decoder.decode(received)
-            if decoded_symbol == NEXT:
-                turn += 1
-            else:
-                position = symbol_position(decoded_symbol)
-                if position is not None and position < len(pi):
-                    claimed.add(position)
-                    if 0 <= turn < n_parties:
-                        owners[position] = turn
-                    if speaker is not None and decoded_symbol == sent_symbol:
-                        claimed_by[speaker].add(position)
+        pi, beep_rows, beep_matrix, owners, claimed_by = _chunk_phase12(
+            programs,
+            shared,
+            energy,
+            chunk_rounds,
+            repetitions,
+            n_parties,
+            codebook,
+            codeword_weights,
+            decoder,
+        )
 
         # Phase 3: per-party error flags (vectorized over the beep
         # matrix) and the OR vote; a clean vote commits the chunk.
-        pi_row = _np.array(pi, dtype=_np.uint8)
-        flags = ((beep_matrix == 1) & (pi_row == 0)).any(axis=1)
-        if any(
-            value == 1 and position not in owners
-            for position, value in enumerate(pi)
-        ):
-            flags[:] = True
-        for position, owner in owners.items():
-            if pi[position] == 1 and position not in claimed_by[owner]:
-                flags[owner] = True
+        flags = _chunk_flags(pi, beep_matrix, owners, claimed_by)
         flag_beeps = int(flags.sum())
         or_flag = 1 if flag_beeps else 0
         ones = shared.window(or_flag, flag_beeps, verification_repetitions)

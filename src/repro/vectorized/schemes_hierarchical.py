@@ -1,0 +1,210 @@
+"""Party-collapsed form of the Appendix-D.2 hierarchy (``A_l``).
+
+The scalar :class:`~repro.simulation.hierarchical.HierarchicalSimulator`
+runs ``n`` party coroutines whose control flow — leaf simulations,
+binary-search progress checks, truncations — is a pure function of
+*shared* state under correlated noise.  The collapse therefore keeps the
+recursion as plain driver code: each non-idle leaf runs the same phase
+1+2 machinery as the chunk-commit collapse
+(:func:`~repro.vectorized.schemes._chunk_phase12`), each progress-check
+vote is one windowed draw, and per-party error flags become a boolean
+vector per chunk, OR-reduced over prefixes.  Inner parties stay *live*
+across leaves — the scalar scheme re-replays the full working prefix in
+every leaf, ``n`` times over — and are rebuilt only after a truncation
+actually rewinds them.  Bitwise equal to the scalar execution: same RNG
+draw order, rounds, channel statistics, per-party energy, outputs,
+report fields and error parity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.core.protocol import Protocol
+from repro.errors import ConfigurationError
+from repro.simulation.base import SimulationReport
+from repro.simulation.hierarchical import HierarchicalSimulator
+from repro.vectorized.noise import FlipStream, require_numpy
+from repro.vectorized.schemes import (
+    CollapsedOutcome,
+    _chunk_flags,
+    _chunk_phase12,
+    _InnerPrograms,
+    _shared_channel,
+    _shared_codebook,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = ["simulate_hierarchical"]
+
+
+def simulate_hierarchical(
+    simulator: HierarchicalSimulator,
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    flips: FlipStream | None = None,
+    codebook_cache: dict | None = None,
+) -> CollapsedOutcome:
+    """The ``A_L`` hierarchy, party-collapsed; bitwise equal to
+    ``simulator.simulate(protocol, inputs, channel)`` on the supported
+    channels (minus the transcript).
+
+    ``flips`` optionally injects a pre-built noise stream (the runner's
+    batched prefetch); ``codebook_cache`` shares the owners codebook and
+    vectorized decoder across the trials of a batch — and with the
+    chunk-commit collapse, whose codebook parameters are identical.
+    """
+    require_numpy()
+    if not channel.correlated:
+        raise ConfigurationError(
+            "HierarchicalSimulator relies on a shared transcript and "
+            "requires a correlated channel"
+        )
+    inner_length = simulator._require_fixed_length(protocol)
+    noise = simulator._resolve_noise_model(channel)
+    epsilon = max(noise.up, noise.down)
+    params = simulator.params
+
+    n_parties = protocol.n_parties
+    chunk_length = params.resolve_chunk_length(n_parties)
+    repetitions = params.resolve_repetitions(n_parties, epsilon)
+    verification_repetitions = params.resolve_verification_repetitions(
+        n_parties, epsilon
+    )
+    num_chunks = max(1, math.ceil(inner_length / chunk_length))
+    depth = math.ceil(math.log2(num_chunks)) + simulator.extra_levels
+    level_repetition_step = simulator.level_repetition_step
+    code, decoder = _shared_codebook(
+        params, chunk_length, noise, codebook_cache
+    )
+
+    report = SimulationReport(
+        scheme=type(simulator).__name__,
+        inner_length=inner_length,
+        extra={
+            "repetitions": repetitions,
+            "verification_repetitions": verification_repetitions,
+            "chunk_length": chunk_length,
+            "depth": depth,
+            "leaf_budget": 1 << depth,
+            "codeword_length": code.codeword_length,
+        },
+    )
+
+    shared = _shared_channel(channel, flips)
+    programs = _InnerPrograms(protocol, inputs, shared_seed, strict=True)
+    energy = _np.zeros(n_parties, dtype=_np.int64)
+    codebook = decoder._codebook
+    codeword_weights = decoder._mask_weights
+
+    # Working state: per appended chunk, its transcript pi and each
+    # party's error-flag vector (truncation only removes suffixes, so
+    # flags stay valid — the scalar scheme's remembered-beeps argument).
+    chunk_pis: list[list[int]] = []
+    chunk_flag_rows: list["_np.ndarray"] = []
+    working_rounds = 0
+    leaf_calls = 0
+    truncated_chunks = 0
+    checks = 0
+
+    def leaf() -> None:
+        """``A_0``: simulate the next chunk (if any) and append it."""
+        nonlocal leaf_calls, working_rounds
+        leaf_calls += 1
+        if working_rounds >= inner_length:
+            return  # idle leaf; shared decision, zero rounds
+        chunk_rounds = min(chunk_length, inner_length - working_rounds)
+        if programs.position != working_rounds:
+            # A truncation rewound the working prefix past the live
+            # programs: replay it once (the scalar scheme replays it n
+            # times, once per outer party, in *every* leaf).
+            programs.rebuild(
+                [bit for chunk in chunk_pis for bit in chunk]
+            )
+        pi, _, beep_matrix, owners, claimed_by = _chunk_phase12(
+            programs,
+            shared,
+            energy,
+            chunk_rounds,
+            repetitions,
+            n_parties,
+            codebook,
+            codeword_weights,
+            decoder,
+        )
+        chunk_pis.append(pi)
+        chunk_flag_rows.append(
+            _chunk_flags(pi, beep_matrix, owners, claimed_by)
+        )
+        working_rounds += len(pi)
+
+    def progress_check(level: int) -> None:
+        """Binary-search the longest consistent working prefix; truncate."""
+        nonlocal checks, truncated_chunks, working_rounds, energy
+        checks += 1
+        votes = verification_repetitions + level_repetition_step * level
+        low, high = 0, len(chunk_pis)
+        while low < high:
+            mid = (low + high + 1) // 2
+            flags = chunk_flag_rows[0].copy()
+            for row in chunk_flag_rows[1:mid]:
+                flags |= row
+            flag_beeps = int(flags.sum())
+            or_flag = 1 if flag_beeps else 0
+            ones = shared.window(or_flag, flag_beeps, votes)
+            verdict = 1 if 2 * ones > votes else 0
+            energy += flags * votes
+            if verdict == 0:
+                low = mid
+            else:
+                high = mid - 1
+        if low < len(chunk_pis):
+            truncated_chunks += len(chunk_pis) - low
+            del chunk_pis[low:]
+            del chunk_flag_rows[low:]
+            working_rounds = sum(len(chunk) for chunk in chunk_pis)
+
+    def run_level(level: int) -> None:
+        if level == 0:
+            leaf()
+            return
+        run_level(level - 1)
+        run_level(level - 1)
+        progress_check(level)
+
+    run_level(depth)
+
+    report.chunk_attempts = leaf_calls
+    report.chunk_commits = len(chunk_pis)
+    report.rewinds = truncated_chunks
+    report.completed = working_rounds == inner_length
+    report.extra["progress_checks"] = checks
+
+    if report.completed and programs.position == inner_length:
+        # The live programs just consumed the full committed transcript —
+        # their outputs are the final replay's outputs (determinism).
+        outputs = programs.outputs()
+    else:
+        committed = [bit for chunk in chunk_pis for bit in chunk]
+        committed = committed[:inner_length]
+        padded = committed + [0] * (inner_length - len(committed))
+        outputs = programs.outputs_over(padded)
+
+    report.simulated_rounds = shared.stats.rounds
+    simulator._enforce_completion(report)
+    return CollapsedOutcome(
+        outputs=outputs,
+        rounds=shared.stats.rounds,
+        channel_stats=shared.stats,
+        beeps_per_party=tuple(int(value) for value in energy),
+        report=report,
+    )

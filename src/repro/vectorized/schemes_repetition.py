@@ -1,0 +1,106 @@
+"""Party-collapsed form of the repetition simulator (footnote 1).
+
+The scalar :class:`~repro.simulation.repetition_sim.RepetitionSimulator`
+wraps each inner party in a coroutine that beeps every inner bit
+``repetitions`` times and majority-decodes the channel's answers, then
+drives the wrapped protocol through the full engine.  On the shared-bit
+channels (every party hears the same bit — the families in
+:data:`~repro.vectorized.schemes.CHANNEL_KINDS`) all parties decode the
+same majority, so the per-party work is redundant: one live inner-party
+set plus one windowed draw per virtual round reproduces the execution
+bitwise — same RNG draw order, rounds, channel statistics, per-party
+energy and outputs, including the engine's
+:class:`~repro.errors.ProtocolDesyncError` when parties disagree on when
+to stop.
+
+Over non-shared channels (independent noise, adversaries) each party
+majority-votes its *own* receptions, which no collapse can replicate —
+those batches take the runner's scalar fallback, exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.core.protocol import Protocol
+from repro.errors import ProtocolDesyncError
+from repro.simulation.base import SimulationReport
+from repro.simulation.repetition_sim import RepetitionSimulator
+from repro.vectorized.noise import FlipStream, require_numpy
+from repro.vectorized.schemes import (
+    CollapsedOutcome,
+    _InnerPrograms,
+    _shared_channel,
+)
+
+__all__ = ["simulate_repetition"]
+
+
+def simulate_repetition(
+    simulator: RepetitionSimulator,
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    channel: Channel,
+    *,
+    shared_seed: int | None = None,
+    flips: FlipStream | None = None,
+    codebook_cache: dict | None = None,
+) -> CollapsedOutcome:
+    """The repetition scheme, party-collapsed; bitwise equal to
+    ``simulator.simulate(protocol, inputs, channel)`` on the supported
+    channels (minus the transcript).
+
+    ``flips`` optionally injects a pre-built noise stream (the runner's
+    batched prefetch).  ``codebook_cache`` is accepted for call symmetry;
+    the repetition scheme has no codebook.
+    """
+    require_numpy()
+    del codebook_cache
+    inner_length = simulator._require_fixed_length(protocol)
+    noise = simulator._resolve_noise_model(channel)
+    # Repetition must beat the worse of the two flip directions.
+    epsilon = max(noise.up, noise.down)
+    n_parties = protocol.n_parties
+    repetitions = simulator.params.resolve_repetitions(n_parties, epsilon)
+
+    shared = _shared_channel(channel, flips)
+    programs = _InnerPrograms(protocol, inputs, shared_seed, strict=False)
+    energy = [0] * n_parties
+
+    while True:
+        bits = programs.bits
+        finished_count = sum(1 for bit in bits if bit is None)
+        if finished_count == n_parties:
+            break
+        if finished_count:
+            laggards = [
+                index for index, bit in enumerate(bits) if bit is not None
+            ]
+            raise ProtocolDesyncError(
+                f"parties {laggards} still communicating after others "
+                f"finished at round {shared.stats.rounds}"
+            )
+        beeps = 0
+        for index, bit in enumerate(bits):
+            beeps += bit
+            energy[index] += bit * repetitions
+        or_value = 1 if beeps else 0
+        ones = shared.window(or_value, beeps, repetitions)
+        decoded = 1 if 2 * ones > repetitions else 0
+        programs.advance(decoded)
+
+    report = SimulationReport(
+        scheme=type(simulator).__name__,
+        inner_length=inner_length,
+        simulated_rounds=shared.stats.rounds,
+        completed=True,
+        extra={"repetitions": repetitions},
+    )
+    return CollapsedOutcome(
+        outputs=programs.outputs(),
+        rounds=shared.stats.rounds,
+        channel_stats=shared.stats,
+        beeps_per_party=tuple(energy),
+        report=report,
+    )

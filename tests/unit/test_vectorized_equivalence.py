@@ -77,10 +77,13 @@ SIMULATORS = {
 }
 
 #: (simulator, channel) pairs the backend collapses — everything else
-#: must take the scalar fallback.
+#: must take the scalar fallback.  All four registry simulators collapse
+#: over the four shared-bit families (for hierarchical, "collapsed"
+#: includes raising the same requires-a-correlated-channel error the
+#: scalar scheme raises on families it rejects).
 COLLAPSED = {
     (simulator, channel)
-    for simulator in ("chunk", "rewind")
+    for simulator in ("chunk", "rewind", "repetition", "hierarchical")
     for channel in ("noiseless", "correlated", "one-sided", "suppression")
 }
 
