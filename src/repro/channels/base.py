@@ -32,10 +32,17 @@ class RoundOutcome:
         or_value: The true OR of the beeped bits (before noise).
         received: Per-party received bits, one per party.  For correlated
             channels all entries are equal.
+        flips: Optional accounted noise counts ``(flips_up, flips_down)``
+            for the round.  Channels whose clean reference differs from
+            the global OR (graph topologies, where each party's clean
+            reception is its *neighborhood* OR) set this so that noise is
+            judged against the right baseline; when absent, ``noisy``
+            falls back to comparing receptions with ``or_value``.
     """
 
     or_value: int
     received: BitWord
+    flips: tuple[int, int] | None = None
 
     @property
     def common(self) -> int:
@@ -56,7 +63,14 @@ class RoundOutcome:
 
     @property
     def noisy(self) -> bool:
-        """True when at least one party's reception differs from the OR."""
+        """True when noise altered at least one party's reception.
+
+        With accounted ``flips`` (set by topology-aware channels) this is
+        exact; otherwise a party reception differing from the global OR
+        counts, which is correct for every single-hop channel.
+        """
+        if self.flips is not None:
+            return self.flips[0] + self.flips[1] > 0
         return any(bit != self.or_value for bit in self.received)
 
 

@@ -91,12 +91,31 @@ class ChannelStats:
         content).  Serves as the drift tripwire between engine-reported
         stats deltas and what the transcript itself shows.
 
-        Raises :class:`~repro.errors.TranscriptError` for transcripts with
-        divergent views (independent noise counts *per-party* flips, which
-        a shared mask cannot reconstruct).
+        Transcripts whose rounds all carried channel-accounted flip
+        counts (network channels append them through ``append_raw``'s
+        ``flips`` argument) are reconstructed from those totals, so the
+        tripwire works even with divergent per-node views.  Otherwise
+        raises :class:`~repro.errors.TranscriptError` for transcripts
+        with divergent views (independent noise counts *per-party*
+        flips, which a shared mask cannot reconstruct).
         """
         from repro.errors import TranscriptError
 
+        if transcript._flip_accounted == len(transcript._or):
+            or_column = transcript._or
+            beeps_sent = 0
+            if (
+                transcript._sent_flat is not None
+                and transcript._sent_recorded_total == len(or_column)
+            ):
+                beeps_sent = sum(transcript._sent_flat)
+            return cls(
+                rounds=len(or_column),
+                beeps_sent=beeps_sent,
+                or_ones=sum(or_column),
+                flips_up=transcript._acc_flips_up,
+                flips_down=transcript._acc_flips_down,
+            )
         if transcript._divergent_total:
             raise TranscriptError(
                 "observed_from_transcript needs a shared view; independent "

@@ -46,10 +46,14 @@ from repro.parallel import RUNNER_BACKENDS, make_runner
 from repro.service.cli import add_sweep_parser
 from repro.service.grid import (
     CHANNELS as _CHANNEL_SPECS,
+    NETWORK_CHANNELS as _NETWORK_CHANNELS,
+    NETWORK_TASKS as _NETWORK_TASKS,
     SIMULATORS as _SIMULATORS,
     TASKS as _TASKS,
+    TOPOLOGIES as _TOPOLOGIES,
     make_executor as _make_executor,
     make_task as _make_task,
+    parse_topology as _parse_topology,
 )
 
 __all__ = ["main", "build_parser", "add_common_run_args"]
@@ -68,14 +72,70 @@ def cmd_info(_args: argparse.Namespace) -> int:
     print("Tasks     : input-set, or, parity, max-id, bit-exchange, "
           "size-estimate, pointer-chasing")
     print()
+    print("Networks (--topology kind:params, e.g. grid:8x8):")
+    print("  Topologies:", ", ".join(sorted(_TOPOLOGIES)))
+    print("  Tasks     :", ", ".join(sorted(_NETWORK_TASKS)))
+    print("  Channels  :", ", ".join(sorted(_NETWORK_CHANNELS)))
+    print()
     print("Headline results: simulation over noise costs Theta(log n) —")
     print("necessary (Theorem 1.1) and sufficient (Theorem 1.2).")
     return 0
 
 
+def _resolve_scenario(args: argparse.Namespace):
+    """Build (task, executor, scenario-label dict) from scenario flags.
+
+    ``--task``/``--channel``/``--simulator``/``--n`` parse as ``None``
+    sentinels so the defaults can depend on ``--topology``: single-hop
+    runs keep the historical input-set/correlated/chunk defaults, network
+    runs default to mis/independent/local-broadcast ("none" at ε=0) with
+    ``n`` taken from a size-pinned spec.
+    """
+    topology = _parse_topology(args.topology) if args.topology else None
+    if topology is None:
+        task_name = args.task or "input-set"
+        channel = args.channel or "correlated"
+        simulator = args.simulator or "chunk"
+        n = args.n if args.n is not None else 8
+    else:
+        task_name = args.task or "mis"
+        channel = args.channel or "independent"
+        simulator = args.simulator or (
+            "local-broadcast" if args.epsilon > 0 else "none"
+        )
+        if args.n is not None:
+            n = args.n
+        elif topology.size is not None:
+            n = topology.size
+        else:
+            n = 64
+        topology = topology.with_n(n)
+    task = _make_task(task_name, n, topology=topology)
+    executor = _make_executor(
+        task, channel, args.epsilon, simulator, topology=topology
+    )
+    scenario = {
+        "task": task_name,
+        "channel": channel,
+        "simulator": simulator,
+        "topology": None if topology is None else topology.label(),
+    }
+    return task, executor, scenario
+
+
+def _scenario_line(scenario: dict, task, epsilon: float) -> str:
+    line = f"task={scenario['task']} n={task.n_parties}"
+    if scenario["topology"] is not None:
+        line += f" topology={scenario['topology']}"
+    return (
+        line
+        + f" channel={scenario['channel']} epsilon={epsilon}"
+        + f" simulator={scenario['simulator']}"
+    )
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
-    task = _make_task(args.task, args.n)
-    executor = _make_executor(task, args.channel, args.epsilon, args.simulator)
+    task, executor, scenario = _resolve_scenario(args)
     runner = make_runner(args.workers, backend=args.backend)
     try:
         point = run_sweep_point(
@@ -87,10 +147,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         runner.close()
     wins = point.success.successes
     overhead = point.mean_overhead
-    print(
-        f"task={args.task} n={task.n_parties} channel={args.channel} "
-        f"epsilon={args.epsilon} simulator={args.simulator}"
-    )
+    print(_scenario_line(scenario, task, args.epsilon))
     print(
         f"success: {wins}/{args.trials}   rounds: {point.mean_rounds:.0f} "
         f"(overhead x{overhead:.1f} vs {task.noiseless_length()} noiseless)"
@@ -102,8 +159,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.observe import JsonlSink, Observer, SummarySink
     from repro.rng import derive_seed, spawn
 
-    task = _make_task(args.task, args.n)
-    executor = _make_executor(task, args.channel, args.epsilon, args.simulator)
+    task, executor, scenario = _resolve_scenario(args)
 
     sinks = []
     if args.output:
@@ -132,10 +188,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 total_energy=result.total_energy,
             )
     print(
-        f"traced {args.trials} trial(s): task={args.task} "
-        f"n={task.n_parties} channel={args.channel} "
-        f"epsilon={args.epsilon} simulator={args.simulator} "
-        f"success={wins}/{args.trials}",
+        f"traced {args.trials} trial(s): "
+        + _scenario_line(scenario, task, args.epsilon)
+        + f" success={wins}/{args.trials}",
         file=sys.stderr,
     )
     if args.output:
@@ -186,18 +241,35 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def _run_overhead(args: argparse.Namespace) -> int:
-    ns = args.ns
+    topology = _parse_topology(args.topology) if args.topology else None
+    if topology is None:
+        task_name, channel = "input-set", "correlated"
+        simulator = args.simulator or "chunk"
+        ns = args.ns or [4, 8, 16, 32]
+        subject = "InputSet_n"
+    else:
+        # One-round neighborhood OR isolates the scheme's overhead; the
+        # independent network channel is what local-broadcast calibrates
+        # against (per-node flips at rate epsilon).
+        task_name, channel = "neighbor-or", "independent"
+        simulator = args.simulator or "local-broadcast"
+        if args.ns:
+            ns = args.ns
+        else:
+            ns = [topology.size] if topology.size is not None else [64, 256]
+        subject = f"{task_name} @ {topology.label()}"
     rows = []
     overheads = []
     trials_per_s = []
     runner = make_runner(args.workers, backend=args.backend)
     try:
         for n in ns:
-            task = _make_task("input-set", n)
+            pinned = None if topology is None else topology.with_n(n)
+            task = _make_task(task_name, n, topology=pinned)
             # Picklable executor so --workers > 1 can fan trials out to a
             # process pool; results are identical for every worker count.
             executor = _make_executor(
-                task, "correlated", args.epsilon, args.simulator
+                task, channel, args.epsilon, simulator, topology=pinned
             )
             point = run_sweep_point(
                 task,
@@ -211,7 +283,7 @@ def _run_overhead(args: argparse.Namespace) -> int:
             rows.append(
                 [
                     n,
-                    2 * n,
+                    task.noiseless_length(),
                     f"{point.mean_overhead:.1f}",
                     f"{point.success.value:.2f}",
                 ]
@@ -222,7 +294,7 @@ def _run_overhead(args: argparse.Namespace) -> int:
         ["n", "noiseless T", "overhead", "success"],
         rows,
         title=(
-            f"{args.simulator} overhead on InputSet_n "
+            f"{simulator} overhead on {subject} "
             f"(epsilon={args.epsilon})"
         ),
     ))
@@ -316,7 +388,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-_TASK_CHOICES = sorted(_TASKS)
+_TASK_CHOICES = sorted(set(_TASKS) | set(_NETWORK_TASKS))
 
 
 def add_common_run_args(
@@ -349,23 +421,57 @@ def add_common_run_args(
     )
 
 
+def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="run on a beeping network: kind:params shorthand resolved "
+        "through the TOPOLOGIES registry (grid:8x8, "
+        "geometric:n=10000,r=0.02,seed=7, scale-free:m=2,seed=1, "
+        "ring, complete)",
+    )
+
+
 def _add_scenario_args(
     parser: argparse.ArgumentParser, *, include_simulator_none: bool = True
 ) -> None:
-    """Task/channel/simulator selection shared by demo and trace."""
+    """Task/channel/simulator selection shared by demo and trace.
+
+    Defaults are ``None`` sentinels filled by :func:`_resolve_scenario`,
+    because they depend on whether ``--topology`` was given.
+    """
     parser.add_argument(
-        "--task", choices=_TASK_CHOICES, default="input-set"
+        "--task",
+        choices=_TASK_CHOICES,
+        default=None,
+        help="default: input-set (single-hop) / mis (with --topology)",
     )
-    parser.add_argument("--n", type=int, default=8, help="party count")
     parser.add_argument(
-        "--channel", choices=sorted(_CHANNEL_SPECS), default="correlated"
+        "--n",
+        type=int,
+        default=None,
+        help="party count (default: 8; with --topology: the spec's "
+        "pinned size, or 64)",
+    )
+    _add_topology_arg(parser)
+    parser.add_argument(
+        "--channel",
+        choices=sorted(set(_CHANNEL_SPECS) | set(_NETWORK_CHANNELS)),
+        default=None,
+        help="default: correlated (single-hop) / independent "
+        "(with --topology)",
     )
     parser.add_argument("--epsilon", type=float, default=0.1)
     simulators = sorted(_SIMULATORS)
     if not include_simulator_none:
         simulators = [name for name in simulators if name != "none"]
     parser.add_argument(
-        "--simulator", choices=simulators, default="chunk"
+        "--simulator",
+        choices=simulators,
+        default=None,
+        help="default: chunk (single-hop) / local-broadcast "
+        "(with --topology; 'none' at epsilon 0)",
     )
 
 
@@ -412,13 +518,21 @@ def build_parser() -> argparse.ArgumentParser:
         "overhead", help="measure the Theta(log n) overhead curve"
     )
     overhead.add_argument(
-        "--ns", type=int, nargs="+", default=[4, 8, 16, 32]
+        "--ns",
+        type=int,
+        nargs="+",
+        default=None,
+        help="party counts (default: 4 8 16 32; with --topology: the "
+        "spec's pinned size, or 64 256)",
     )
     overhead.add_argument("--epsilon", type=float, default=0.1)
+    _add_topology_arg(overhead)
     overhead.add_argument(
         "--simulator",
         choices=[name for name in sorted(_SIMULATORS) if name != "none"],
-        default="chunk",
+        default=None,
+        help="default: chunk (single-hop) / local-broadcast "
+        "(with --topology)",
     )
     add_common_run_args(overhead, trials_default=3)
     _add_profile_arg(overhead, "profile_overhead.pstats")

@@ -305,6 +305,7 @@ def _run_dense(
                 pending_bits if record_sent else None,
                 outcome.or_value,
                 received_word,
+                outcome.flips,
             )
             rounds += 1
             pending_beeps = 0
@@ -586,7 +587,10 @@ def _run_sparse(
         outcome = transmit(tuple(bits))
         received_word = outcome.received
         append_raw(
-            bits if record_sent else None, outcome.or_value, received_word
+            bits if record_sent else None,
+            outcome.or_value,
+            received_word,
+            outcome.flips,
         )
         rounds += 1
         wakers = wheel.pop(rounds, None)

@@ -102,6 +102,12 @@ class Transcript:
         self._sent_mask = bytearray()  # 1 where the round recorded sent bits
         self._sent_recorded_total = 0
         self._noisy_total = 0
+        # Accounted noise: rounds appended with explicit channel-reported
+        # flip counts (topology channels, whose clean baseline is each
+        # party's neighborhood OR rather than the global OR).
+        self._flip_accounted = 0
+        self._acc_flips_up = 0
+        self._acc_flips_down = 0
 
     # ------------------------------------------------------------------
     # Write paths
@@ -112,6 +118,7 @@ class Transcript:
         sent: Sequence[int] | None,
         or_value: int,
         received: int | Sequence[int],
+        flips: tuple[int, int] | None = None,
     ) -> None:
         """Append one round as raw column bytes — the engine's write path.
 
@@ -122,13 +129,23 @@ class Transcript:
             or_value: The true OR of the round.
             received: Either the single shared received bit (``int``, the
                 correlated fast path) or the per-party received word.
+            flips: Channel-accounted ``(flips_up, flips_down)`` for the
+                round, when the channel reports them (topology channels).
+                The noisy mask then records *genuine* noise — receptions
+                differing from each party's clean baseline — instead of
+                divergence from the global OR, and
+                :meth:`~repro.channels.stats.ChannelStats.observed_from_transcript`
+                can re-derive flip totals even with divergent views.
 
         All bits must already be validated 0/1 ints; this method trades
         the record-level validation of :meth:`append` for speed.
         """
         if isinstance(received, int):
             self._common.append(received)
-            noisy = received != or_value
+            if flips is None:
+                noisy = received != or_value
+            else:
+                noisy = flips[0] + flips[1] > 0
             if self._recv_cols is not None:
                 for column in self._recv_cols:
                     column.append(received)
@@ -159,14 +176,21 @@ class Transcript:
                         round_diverged = True
                 if round_diverged:
                     self._divergent_total += 1
-            noisy = False
-            for bit in received:
-                if bit != or_value:
-                    noisy = True
-                    break
+            if flips is None:
+                noisy = False
+                for bit in received:
+                    if bit != or_value:
+                        noisy = True
+                        break
+            else:
+                noisy = flips[0] + flips[1] > 0
         self._or.append(or_value)
         self._noisy.append(noisy)
         self._noisy_total += noisy
+        if flips is not None:
+            self._flip_accounted += 1
+            self._acc_flips_up += flips[0]
+            self._acc_flips_down += flips[1]
         if sent is None:
             if self._sent_flat is not None:
                 self._sent_flat.extend(self._zero_row)

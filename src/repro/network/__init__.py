@@ -6,27 +6,51 @@ model of [CK10] and the MIS/leader-election literature the paper cites
 ([AAB⁺13, FSW14, SJX13, ...]): nodes sit on a graph and each round every
 node either beeps or listens, hearing a beep iff some *neighbor* beeped.
 
-This subpackage provides that substrate and one flagship algorithm:
+This subpackage provides that substrate end to end:
 
+* :class:`Topology` / :class:`TopologySpec` — graphs as reproducible
+  data: dual-CSR adjacency with sparse neighborhood evaluation, plus a
+  declarative, JSON-round-trippable spec (generator name + params +
+  seed) resolved through the :data:`TOPOLOGIES` registry (complete,
+  ring, grid, random geometric, scale-free).
 * :class:`NetworkBeepingChannel` — a graph-structured channel compatible
   with the package's :class:`~repro.channels.base.Channel` interface
-  (per-node views; optional per-node independent noise).  On the complete
-  graph with ``hear_self=True`` it coincides exactly with the single-hop
-  channels.
-* :class:`MISTask` — randomized maximal-independent-set election by beeps
-  (a Luby-style two-round-per-phase protocol in the spirit of [AAB⁺13]),
-  with validity checked against the graph.
+  (per-node views; per-node flip noise and per-edge erasure noise, with
+  genuine-noise accounting).  On the complete graph with
+  ``hear_self=True`` it is bitwise identical to the single-hop
+  independent-noise channel.
+* Tasks — :class:`MISTask` (Luby-style election after [AAB⁺13]),
+  :class:`BroadcastTask` (flooding), :class:`NeighborORTask` (one-round
+  neighborhood OR), :class:`NetworkSizeEstimateTask` (flooded [BKK⁺16]
+  size estimation).
+* :class:`LocalBroadcastSimulator` — Davies' degree-calibrated
+  repetition scheme, the multi-hop member of the simulation-scheme
+  family (``Θ(log ΔT)`` overhead instead of ``Θ(log n)``).
 
-The noise-resilient simulators of :mod:`repro.simulation` are single-hop
-constructions (they need the OR-of-everyone channel and, mostly, a shared
-transcript); the network substrate documents where the paper's model sits
-inside the broader ecosystem and what its guarantees do *not* yet cover —
-interactive coding for multi-hop beeping is the open frontier the paper's
-related-work section points at ([CHHZ17, EKS19]).
+The paper's own simulators remain single-hop constructions (they need
+the OR-of-everyone channel and, mostly, a shared transcript); full
+interactive coding for multi-hop beeping is the open frontier the
+paper's related-work section points at ([CHHZ17, EKS19]).
 """
 
 from repro.network.channel import NetworkBeepingChannel, ring, grid, complete
+from repro.network.local_broadcast import (
+    LocalBroadcastSimulator,
+    local_broadcast_repetitions,
+)
 from repro.network.mis import MISTask, mis_protocol
+from repro.network.tasks import (
+    BroadcastTask,
+    NeighborORTask,
+    NetworkSizeEstimateTask,
+)
+from repro.network.topology import (
+    TOPOLOGIES,
+    Topology,
+    TopologyFamily,
+    TopologySpec,
+    parse_topology,
+)
 
 __all__ = [
     "NetworkBeepingChannel",
@@ -35,4 +59,14 @@ __all__ = [
     "complete",
     "MISTask",
     "mis_protocol",
+    "BroadcastTask",
+    "NeighborORTask",
+    "NetworkSizeEstimateTask",
+    "LocalBroadcastSimulator",
+    "local_broadcast_repetitions",
+    "TOPOLOGIES",
+    "Topology",
+    "TopologyFamily",
+    "TopologySpec",
+    "parse_topology",
 ]

@@ -23,6 +23,12 @@ the other's candidate beep — note this uses ``hear_self=False``, the
 classic convention) and maximal (a node only decides out when a neighbor
 decided in).
 
+A decided node yields one :class:`~repro.core.party.Silence` token for all
+its remaining rounds, so the engine's sparse scheduler skips it entirely —
+on large graphs most nodes decide in the first few phases and the per-round
+work collapses toward the still-contended neighborhoods (tokens are bitwise
+sugar: the execution is identical to yielding 0 every round).
+
 Private randomness is modelled the package's standard way: each node's
 input is its coin tape for all phases, sampled by
 :meth:`MISTask.sample_inputs`, keeping the protocol object deterministic.
@@ -34,10 +40,11 @@ import math
 import random
 from typing import Sequence
 
-from repro.core.party import Party
+from repro.core.party import Party, Silence
 from repro.core.protocol import Protocol
 from repro.errors import ConfigurationError, TaskError
 from repro.network.channel import NetworkBeepingChannel
+from repro.network.topology import Topology
 from repro.tasks.base import Task
 
 __all__ = ["MISTask", "mis_protocol"]
@@ -53,19 +60,22 @@ class _MISParty(Party):
     def run(self):
         # state: None = undecided, True = in MIS, False = dominated.
         decided: bool | None = None
-        candidate = False
         for phase in range(self.phases):
             # Candidate round.
-            candidate = decided is None and self.coin_tape[phase] == 1
+            candidate = self.coin_tape[phase] == 1
             heard_candidates = yield (1 if candidate else 0)
             # Winner round.
             wins = candidate and heard_candidates == 0
             heard_winners = yield (1 if wins else 0)
-            if decided is None:
-                if wins:
-                    decided = True
-                elif heard_winners == 1:
-                    decided = False
+            if wins:
+                decided = True
+            elif heard_winners == 1:
+                decided = False
+            if decided is not None:
+                remaining = 2 * (self.phases - phase - 1)
+                if remaining:
+                    yield Silence(remaining)
+                return decided
         # Undecided nodes after all phases report None (a failure the
         # task's checker rejects); w.h.p. this does not happen.
         return decided
@@ -97,7 +107,8 @@ class MISTask(Task):
     """Elect a maximal independent set of a graph by beeping.
 
     Args:
-        adjacency: The graph (see
+        topology: The graph — a :class:`~repro.network.topology.Topology`
+            or adjacency lists (see
             :class:`~repro.network.channel.NetworkBeepingChannel`); must
             be symmetric for MIS to be meaningful.
         cycles: How many times the probability schedule
@@ -111,19 +122,19 @@ class MISTask(Task):
 
     def __init__(
         self,
-        adjacency: Sequence[Sequence[int]],
+        topology: Topology | Sequence[Sequence[int]],
         cycles: int | None = None,
     ) -> None:
-        n_nodes = len(adjacency)
+        if not isinstance(topology, Topology):
+            topology = Topology.from_adjacency(topology)
+        if not topology.symmetric:
+            raise ConfigurationError(
+                "adjacency must be symmetric: MIS needs an undirected graph"
+            )
+        n_nodes = topology.n
         super().__init__(n_nodes)
-        self.adjacency = [tuple(neighbors) for neighbors in adjacency]
-        for node, neighbors in enumerate(self.adjacency):
-            for neighbor in neighbors:
-                if node not in self.adjacency[neighbor]:
-                    raise ConfigurationError(
-                        f"adjacency must be symmetric: {node} -> "
-                        f"{neighbor} has no reverse edge"
-                    )
+        self.topology = topology
+        self.adjacency = topology.adjacency_lists()
         self.levels = max(1, math.ceil(math.log2(max(n_nodes, 2)))) + 1
         if cycles is None:
             cycles = math.ceil(math.log2(max(n_nodes, 2))) + 6
@@ -180,8 +191,14 @@ class MISTask(Task):
         self,
         epsilon: float = 0.0,
         rng: random.Random | int | None = None,
+        *,
+        edge_epsilon: float = 0.0,
     ) -> NetworkBeepingChannel:
         """The matching network channel (classic no-self-hearing model)."""
         return NetworkBeepingChannel(
-            self.adjacency, epsilon=epsilon, hear_self=False, rng=rng
+            self.topology,
+            epsilon=epsilon,
+            hear_self=False,
+            rng=rng,
+            edge_epsilon=edge_epsilon,
         )

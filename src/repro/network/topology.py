@@ -1,0 +1,584 @@
+"""Topologies as reproducible data: :class:`Topology` + :class:`TopologySpec`.
+
+The network engine separates *what the graph is* from *how it is stored*:
+
+* :class:`Topology` — the immutable runtime object: CSR neighbor arrays
+  (``array('i')`` index/pointer pairs, a few bytes per edge even at
+  10^6 nodes) in both directions, so the channel can iterate a beeping
+  node's **out**-neighborhood (who hears me) in O(degree) while protocol
+  checkers read **in**-neighborhoods (whom I hear).  Built once,
+  validated once (range, no self-loops, sorted/deduped), shared freely.
+* :class:`TopologySpec` — the declarative, JSON-round-trippable recipe:
+  generator name + params + seed, e.g. ``{"kind": "grid", "rows": 32,
+  "cols": 32}``.  Specs are frozen, hashable, picklable plain data —
+  which is what lets network sweeps flow through the sweep service's
+  content-addressed cache and process-pool executors exactly like
+  single-hop ones.  :meth:`TopologySpec.build` resolves through the
+  :data:`TOPOLOGIES` registry and memoizes the constructed graph, so a
+  thousand per-trial channel constructions share one build.
+
+Seeded-generator contract
+-------------------------
+
+Every generator is a pure function of its declared params: the same
+spec (including its ``seed`` param) always yields the same graph —
+bit-identical CSR arrays — on every machine and process.  Generators
+draw only from a private ``random.Random(seed)``; they never touch
+global RNG state, and building a topology consumes no draws from any
+channel or trial seed stream.
+
+Registry: :data:`TOPOLOGIES` maps the generator name to a
+:class:`TopologyFamily` (builder + docs), mirroring the
+``CHANNELS``/``SIMULATORS``/``TASKS`` tables in
+:mod:`repro.service.grid` (which re-exports it).  The CLI shorthand
+``grid:32x32`` / ``geometric:n=10000,r=0.02,seed=7`` parses with
+:func:`parse_topology` into the same specs the library API uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from array import array
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Topology",
+    "TopologyFamily",
+    "TopologySpec",
+    "TOPOLOGIES",
+    "parse_topology",
+]
+
+
+class Topology:
+    """An immutable directed graph over nodes ``0..n-1`` in CSR form.
+
+    ``in`` edges follow the adjacency-list convention of
+    :class:`~repro.network.channel.NetworkBeepingChannel`:
+    ``in_neighbors(i)`` are the nodes whose beeps node ``i`` hears.
+    ``out_neighbors(j)`` is the reverse — the nodes that hear ``j`` —
+    which is the direction the channel's sparse evaluation walks.
+
+    Construct with :meth:`from_adjacency`; generators in
+    :data:`TOPOLOGIES` do.  Instances are treated as immutable: the
+    channel, tasks and the spec cache all share them.
+    """
+
+    __slots__ = (
+        "n",
+        "_in_indptr",
+        "_in_indices",
+        "_out_indptr",
+        "_out_indices",
+        "symmetric",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        in_indptr: array,
+        in_indices: array,
+        out_indptr: array,
+        out_indices: array,
+        symmetric: bool,
+    ) -> None:
+        self.n = n
+        self._in_indptr = in_indptr
+        self._in_indices = in_indices
+        self._out_indptr = out_indptr
+        self._out_indices = out_indices
+        #: True when the in- and out-edge sets coincide (undirected graph).
+        self.symmetric = symmetric
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Sequence[Iterable[int]]
+    ) -> "Topology":
+        """Build from adjacency lists (``adjacency[i]`` = whom ``i`` hears).
+
+        Neighbor lists are sorted and deduplicated; out-of-range entries
+        and self-loops raise :class:`~repro.errors.ConfigurationError`
+        (self-hearing is a channel option, not a graph edge).
+        """
+        n = len(adjacency)
+        if n < 1:
+            raise ConfigurationError("a topology needs at least one node")
+        in_indptr = array("l", [0] * (n + 1))
+        in_indices = array("l")
+        out_degree = [0] * n
+        for node, neighbors in enumerate(adjacency):
+            cleaned = sorted(set(int(j) for j in neighbors))
+            for neighbor in cleaned:
+                if not 0 <= neighbor < n:
+                    raise ConfigurationError(
+                        f"node {node} lists out-of-range neighbor "
+                        f"{neighbor}"
+                    )
+                if neighbor == node:
+                    raise ConfigurationError(
+                        f"node {node} lists itself as a neighbor; use "
+                        "hear_self=True instead"
+                    )
+                out_degree[neighbor] += 1
+            in_indices.extend(cleaned)
+            in_indptr[node + 1] = len(in_indices)
+        # Reverse CSR: node j's out-list = every i with j in adjacency[i],
+        # collected in ascending i (so out-lists come out sorted too).
+        out_indptr = array("l", [0] * (n + 1))
+        total = 0
+        for node in range(n):
+            total += out_degree[node]
+            out_indptr[node + 1] = total
+        out_indices = array("l", [0] * total)
+        cursor = list(out_indptr[:n])
+        for node in range(n):
+            for position in range(in_indptr[node], in_indptr[node + 1]):
+                j = in_indices[position]
+                out_indices[cursor[j]] = node
+                cursor[j] += 1
+        symmetric = (
+            in_indptr == out_indptr and in_indices == out_indices
+        )
+        return cls(
+            n, in_indptr, in_indices, out_indptr, out_indices, symmetric
+        )
+
+    # -- read API --------------------------------------------------------
+
+    @property
+    def edges(self) -> int:
+        """Directed edge (arc) count."""
+        return len(self._in_indices)
+
+    def in_neighbors(self, node: int) -> tuple[int, ...]:
+        """The nodes whose beeps ``node`` hears (sorted)."""
+        ptr = self._in_indptr
+        return tuple(self._in_indices[ptr[node] : ptr[node + 1]])
+
+    def out_neighbors(self, node: int) -> tuple[int, ...]:
+        """The nodes that hear ``node``'s beeps (sorted)."""
+        ptr = self._out_indptr
+        return tuple(self._out_indices[ptr[node] : ptr[node + 1]])
+
+    def in_degree(self, node: int) -> int:
+        ptr = self._in_indptr
+        return ptr[node + 1] - ptr[node]
+
+    def out_degree(self, node: int) -> int:
+        ptr = self._out_indptr
+        return ptr[node + 1] - ptr[node]
+
+    @property
+    def max_in_degree(self) -> int:
+        """The largest in-degree Δ (what local-broadcast calibrates on)."""
+        ptr = self._in_indptr
+        return max(
+            (ptr[i + 1] - ptr[i] for i in range(self.n)), default=0
+        )
+
+    def adjacency_lists(self) -> list[tuple[int, ...]]:
+        """The in-adjacency as plain lists of tuples (compat format)."""
+        return [self.in_neighbors(i) for i in range(self.n)]
+
+    def bfs_distances(self, source: int = 0) -> list[int]:
+        """Hop distance from ``source`` along *out* edges (the direction
+        information floods); ``-1`` for unreachable nodes."""
+        if not 0 <= source < self.n:
+            raise ConfigurationError(
+                f"source {source} outside [0, {self.n})"
+            )
+        dist = [-1] * self.n
+        dist[source] = 0
+        frontier = [source]
+        ptr = self._out_indptr
+        idx = self._out_indices
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for j in frontier:
+                for i in idx[ptr[j] : ptr[j + 1]]:
+                    if dist[i] < 0:
+                        dist[i] = depth
+                        next_frontier.append(i)
+            frontier = next_frontier
+        return dist
+
+    def eccentricity(self, source: int = 0) -> int:
+        """Max hop distance from ``source`` over its reachable set."""
+        return max(d for d in self.bfs_distances(source))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(n={self.n}, edges={self.edges}, "
+            f"symmetric={self.symmetric})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def _complete(*, n: int) -> Topology:
+    if n < 1:
+        raise ConfigurationError(f"need >= 1 node, got {n}")
+    return Topology.from_adjacency(
+        [tuple(j for j in range(n) if j != i) for i in range(n)]
+    )
+
+
+def _ring(*, n: int) -> Topology:
+    if n < 3:
+        raise ConfigurationError(f"a ring needs >= 3 nodes, got {n}")
+    return Topology.from_adjacency(
+        [((i - 1) % n, (i + 1) % n) for i in range(n)]
+    )
+
+
+def _grid(
+    *,
+    rows: int | None = None,
+    cols: int | None = None,
+    n: int | None = None,
+) -> Topology:
+    """4-neighbor grid, row-major.  Either ``rows``+``cols`` pin the
+    shape, or a bare ``n`` gets the near-square ``isqrt(n)`` layout with
+    a partial last row (so any node count is a valid grid)."""
+    if rows is not None or cols is not None:
+        if rows is None or cols is None:
+            raise ConfigurationError(
+                "grid needs both rows and cols (or a bare n)"
+            )
+        if rows < 1 or cols < 1:
+            raise ConfigurationError("grid needs positive dimensions")
+        if n is not None and n != rows * cols:
+            raise ConfigurationError(
+                f"grid {rows}x{cols} has {rows * cols} nodes, not {n}"
+            )
+        total = rows * cols
+        width = cols
+    else:
+        if n is None:
+            raise ConfigurationError("grid needs rows+cols or n")
+        if n < 1:
+            raise ConfigurationError(f"need >= 1 node, got {n}")
+        total = n
+        rows = max(1, math.isqrt(n))
+        width = -(-n // rows)  # ceil division: partial last row allowed
+    adjacency: list[tuple[int, ...]] = []
+    for node in range(total):
+        row, col = divmod(node, width)
+        neighbors = []
+        if row > 0:
+            neighbors.append(node - width)
+        if node + width < total:
+            neighbors.append(node + width)
+        if col > 0:
+            neighbors.append(node - 1)
+        if col < width - 1 and node + 1 < total:
+            neighbors.append(node + 1)
+        adjacency.append(tuple(neighbors))
+    return Topology.from_adjacency(adjacency)
+
+
+def _geometric(*, n: int, radius: float, seed: int = 0) -> Topology:
+    """Random geometric graph: ``n`` points uniform in the unit square,
+    edges between pairs at Euclidean distance <= ``radius``.  Cell-binned
+    neighbor search: O(n) expected build, not O(n²)."""
+    if n < 1:
+        raise ConfigurationError(f"need >= 1 node, got {n}")
+    if not 0.0 < radius <= math.sqrt(2.0):
+        raise ConfigurationError(
+            f"radius must be in (0, sqrt(2)], got {radius}"
+        )
+    rng = random.Random(seed)
+    xs = [0.0] * n
+    ys = [0.0] * n
+    for i in range(n):
+        xs[i] = rng.random()
+        ys[i] = rng.random()
+    cells = max(1, int(1.0 / radius))
+    size = 1.0 / cells
+    bins: dict[tuple[int, int], list[int]] = {}
+    for i in range(n):
+        key = (min(int(xs[i] / size), cells - 1),
+               min(int(ys[i] / size), cells - 1))
+        bins.setdefault(key, []).append(i)
+    r2 = radius * radius
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for (cx, cy), members in bins.items():
+        for dx in (0, 1):
+            for dy in ((-1, 0, 1) if dx else (0, 1)):
+                others = bins.get((cx + dx, cy + dy))
+                if others is None:
+                    continue
+                if dx == 0 and dy == 0:
+                    for a_pos, i in enumerate(members):
+                        for j in members[a_pos + 1 :]:
+                            dx_ = xs[i] - xs[j]
+                            dy_ = ys[i] - ys[j]
+                            if dx_ * dx_ + dy_ * dy_ <= r2:
+                                adjacency[i].append(j)
+                                adjacency[j].append(i)
+                else:
+                    for i in members:
+                        for j in others:
+                            dx_ = xs[i] - xs[j]
+                            dy_ = ys[i] - ys[j]
+                            if dx_ * dx_ + dy_ * dy_ <= r2:
+                                adjacency[i].append(j)
+                                adjacency[j].append(i)
+    return Topology.from_adjacency(adjacency)
+
+
+def _scale_free(*, n: int, m: int = 2, seed: int = 0) -> Topology:
+    """Barabási–Albert preferential attachment: each arriving node links
+    to ``m`` distinct existing nodes with probability ∝ degree."""
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise ConfigurationError(
+            f"scale-free needs n >= m + 1 = {m + 1}, got {n}"
+        )
+    rng = random.Random(seed)
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    # One entry per half-edge; sampling from it is degree-proportional.
+    repeated: list[int] = []
+    targets = list(range(m))
+    source = m
+    while source < n:
+        for target in targets:
+            adjacency[source].append(target)
+            adjacency[target].append(source)
+        repeated.extend(targets)
+        repeated.extend([source] * m)
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(repeated[rng.randrange(len(repeated))])
+        targets = sorted(chosen)
+        source += 1
+    return Topology.from_adjacency(adjacency)
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One row of the :data:`TOPOLOGIES` registry."""
+
+    name: str
+    builder: Callable[..., Topology]
+    description: str
+    #: Params beyond the size that the builder accepts.
+    params: tuple[str, ...] = ()
+    #: Whether the family takes a generator seed (random families).
+    seeded: bool = False
+
+
+TOPOLOGIES: dict[str, TopologyFamily] = {
+    "complete": TopologyFamily(
+        "complete", _complete,
+        "complete graph (the paper's single-hop channel)",
+    ),
+    "ring": TopologyFamily(
+        "ring", _ring, "cycle: node i hears i±1 (mod n)"
+    ),
+    "grid": TopologyFamily(
+        "grid", _grid,
+        "4-neighbor grid (rows x cols, or near-square from n)",
+        params=("rows", "cols"),
+    ),
+    "geometric": TopologyFamily(
+        "geometric", _geometric,
+        "random geometric graph in the unit square (radius r)",
+        params=("radius",), seeded=True,
+    ),
+    "scale-free": TopologyFamily(
+        "scale-free", _scale_free,
+        "Barabási–Albert preferential attachment (m links per node)",
+        params=("m",), seeded=True,
+    ),
+}
+
+#: CLI shorthand aliases accepted by :func:`parse_topology`.
+_PARAM_ALIASES = {"r": "radius", "columns": "cols"}
+
+
+def _spec_size(kind: str, params: Mapping[str, Any]) -> int | None:
+    """The node count a spec pins, or ``None`` when still scalable."""
+    if kind == "grid" and "rows" in params and "cols" in params:
+        return int(params["rows"]) * int(params["cols"])
+    n = params.get("n")
+    return int(n) if n is not None else None
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A declarative topology: generator name + params, as plain data.
+
+    Hashable, picklable and JSON-round-trippable
+    (:meth:`to_dict`/:meth:`from_dict`), so it can ride inside
+    :class:`~repro.parallel.ChannelSpec` across process boundaries and
+    into sweep-service cache keys.  ``params`` is a sorted tuple of
+    ``(key, value)`` pairs; use :meth:`of` to build from kwargs.
+
+    A spec may leave the node count open (e.g. ``geometric`` with only a
+    radius): :meth:`with_n` pins it, and a sweep's ``ns`` grid does so
+    per point.  Pinned specs refuse a conflicting ``with_n`` loudly.
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.kind!r} "
+                f"(choose from {sorted(TOPOLOGIES)})"
+            )
+        params = self.params
+        if isinstance(params, Mapping):
+            params = tuple(sorted(params.items()))
+        else:
+            params = tuple(sorted((str(k), v) for k, v in params))
+        object.__setattr__(self, "params", params)
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "TopologySpec":
+        """Build a spec from keyword params."""
+        return cls(kind, tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def size(self) -> int | None:
+        """The node count this spec pins (``None``: still scalable)."""
+        return _spec_size(self.kind, self.param_dict())
+
+    def with_n(self, n: int) -> "TopologySpec":
+        """This spec pinned to ``n`` nodes.
+
+        No-op when already pinned to ``n``; raises when pinned to a
+        different size (a sweep's ``ns`` must match a pinned spec).
+        """
+        current = self.size
+        if current is not None:
+            if current != int(n):
+                raise ConfigurationError(
+                    f"topology {self.label()!r} pins {current} nodes; "
+                    f"cannot re-pin to n={n}"
+                )
+            return self
+        params = self.param_dict()
+        params["n"] = int(n)
+        return TopologySpec.of(self.kind, **params)
+
+    def build(self) -> Topology:
+        """The graph this spec describes (memoized per spec)."""
+        return _build_topology(self)
+
+    def label(self) -> str:
+        """Canonical shorthand form, e.g. ``geometric:n=64,radius=0.25``
+        (parseable back with :func:`parse_topology`)."""
+        if not self.params:
+            return self.kind
+        rendered = ",".join(
+            f"{key}={value}" for key, value in self.params
+        )
+        return f"{self.kind}:{rendered}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The flat JSON form, e.g. ``{"kind": "grid", "rows": 32,
+        "cols": 32}``."""
+        return {"kind": self.kind, **self.param_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        params = {
+            str(k): v for k, v in data.items() if k != "kind"
+        }
+        try:
+            kind = str(data["kind"])
+        except KeyError:
+            raise ConfigurationError(
+                "a topology dict needs a 'kind' entry"
+            ) from None
+        return cls.of(kind, **params)
+
+
+@lru_cache(maxsize=8)
+def _build_topology(spec: TopologySpec) -> Topology:
+    """Construct (and memoize) the graph of a fully-pinned spec.
+
+    The cache is what keeps per-trial channel construction O(1): a sweep
+    point builds its topology once and every trial's
+    ``ChannelSpec.make`` reuses it (per process — specs pickle, graphs
+    rebuild on first use in each worker).
+    """
+    family = TOPOLOGIES[spec.kind]
+    try:
+        return family.builder(**spec.param_dict())
+    except TypeError as error:
+        raise ConfigurationError(
+            f"bad params for topology {spec.kind!r}: {error}"
+        ) from None
+
+
+def _parse_param_value(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """Parse the CLI shorthand into a :class:`TopologySpec`.
+
+    Forms (all resolved through :data:`TOPOLOGIES`):
+
+    * ``ring`` — bare kind (size supplied later via ``with_n``);
+    * ``complete:64`` — bare integer = node count;
+    * ``grid:32x32`` — grid shape shorthand;
+    * ``geometric:n=10000,r=0.02,seed=7`` — ``key=value`` params
+      (``r`` aliases ``radius``).
+    """
+    kind, _, rest = text.strip().partition(":")
+    kind = kind.strip()
+    if kind not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"unknown topology {kind!r} "
+            f"(choose from {sorted(TOPOLOGIES)})"
+        )
+    params: dict[str, Any] = {}
+    for token in filter(None, (t.strip() for t in rest.split(","))):
+        if "=" in token:
+            key, _, value = token.partition("=")
+            key = _PARAM_ALIASES.get(key.strip(), key.strip())
+            params[key] = _parse_param_value(value.strip())
+        elif kind == "grid" and "x" in token:
+            rows_text, _, cols_text = token.partition("x")
+            try:
+                params["rows"] = int(rows_text)
+                params["cols"] = int(cols_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad grid shape {token!r} (want ROWSxCOLS)"
+                ) from None
+        else:
+            try:
+                params["n"] = int(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad topology param {token!r} in {text!r} "
+                    "(want key=value, a bare node count, or ROWSxCOLS)"
+                ) from None
+    return TopologySpec.of(kind, **params)

@@ -44,6 +44,15 @@ class ChannelSpec:
     reference); the per-trial seed is injected under ``seed_kwarg``
     (``None`` for seedless channels such as ``NoiselessChannel``).
 
+    Network channels carry their graph as a declarative
+    :class:`~repro.network.topology.TopologySpec` under ``topology``
+    rather than a live :class:`~repro.network.topology.Topology`: the
+    spec is tiny, picklable and content-addressable (sweep cache keys
+    hash the recipe, not the adjacency arrays), and :meth:`make` builds
+    the graph inside the worker — memoized, so per-trial construction
+    costs a cache lookup — and passes it as the factory's first
+    positional argument.
+
     >>> from repro.channels import CorrelatedNoiseChannel
     >>> spec = ChannelSpec.of(CorrelatedNoiseChannel, 0.1)
     >>> spec.make(7).epsilon
@@ -54,6 +63,7 @@ class ChannelSpec:
     args: tuple[Any, ...] = ()
     kwargs: tuple[tuple[str, Any], ...] = ()
     seed_kwarg: str | None = "rng"
+    topology: Any = None  # TopologySpec | None (Any: layering, picklability)
 
     @classmethod
     def of(
@@ -61,17 +71,21 @@ class ChannelSpec:
         factory: Callable[..., Channel],
         *args: Any,
         seed_kwarg: str | None = "rng",
+        topology: Any = None,
         **kwargs: Any,
     ) -> "ChannelSpec":
         """Convenience constructor mirroring the factory's call shape."""
-        return cls(factory, args, _freeze_kwargs(kwargs), seed_kwarg)
+        return cls(factory, args, _freeze_kwargs(kwargs), seed_kwarg, topology)
 
     def make(self, trial_seed: int) -> Channel:
         """Build the channel for one trial."""
         kwargs = dict(self.kwargs)
         if self.seed_kwarg is not None:
             kwargs[self.seed_kwarg] = trial_seed
-        return self.factory(*self.args, **kwargs)
+        args = self.args
+        if self.topology is not None:
+            args = (self.topology.build(), *args)
+        return self.factory(*args, **kwargs)
 
 
 @dataclass(frozen=True)

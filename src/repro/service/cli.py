@@ -33,7 +33,15 @@ from repro.errors import ConfigurationError, ReproError
 from repro.observe import JsonlSink, MetricsCollector, Observer, read_jsonl
 from repro.parallel import RUNNER_BACKENDS, make_runner, use_runner
 from repro.service.driver import run_sweep_resumable, sweep_status
-from repro.service.grid import CHANNELS, SIMULATORS, TASKS, SweepGrid
+from repro.service.grid import (
+    CHANNELS,
+    NETWORK_CHANNELS,
+    NETWORK_TASKS,
+    SIMULATORS,
+    TASKS,
+    SweepGrid,
+    parse_topology,
+)
 from repro.service.shards import merge_sweep, plan_shards
 from repro.service.store import ResultStore
 
@@ -43,20 +51,39 @@ _DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _add_grid_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--task", choices=sorted(TASKS), default="input-set")
+    parser.add_argument(
+        "--task",
+        choices=sorted(set(TASKS) | set(NETWORK_TASKS)),
+        default=None,
+        help="default: input-set (single-hop) / mis (with --topology)",
+    )
     parser.add_argument(
         "--ns",
         type=int,
         nargs="+",
-        default=[4, 8],
-        help="party counts, one grid point each",
+        default=None,
+        help="party counts, one grid point each "
+        "(default: 4 8; with --topology: the spec's pinned size, or 64)",
     )
     parser.add_argument(
-        "--channel", choices=sorted(CHANNELS), default="correlated"
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="network sweep over a graph family: kind:params shorthand "
+        "(e.g. grid:8x8, geometric:r=0.2,seed=3, scale-free:m=2,seed=1)",
+    )
+    parser.add_argument(
+        "--channel",
+        choices=sorted(set(CHANNELS) | set(NETWORK_CHANNELS)),
+        default=None,
+        help="default: correlated (single-hop) / independent (with --topology)",
     )
     parser.add_argument("--epsilon", type=float, default=0.1)
     parser.add_argument(
-        "--simulator", choices=sorted(SIMULATORS), default="chunk"
+        "--simulator",
+        choices=sorted(SIMULATORS),
+        default=None,
+        help="default: chunk (single-hop) / local-broadcast (with --topology)",
     )
     parser.add_argument("--trials", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
@@ -73,14 +100,31 @@ def _add_grid_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _grid_from_args(args: argparse.Namespace) -> SweepGrid:
+    topology = parse_topology(args.topology) if args.topology else None
+    if topology is None:
+        task = args.task or "input-set"
+        channel = args.channel or "correlated"
+        simulator = args.simulator or "chunk"
+        ns = tuple(args.ns) if args.ns else (4, 8)
+    else:
+        task = args.task or "mis"
+        channel = args.channel or "independent"
+        simulator = args.simulator or (
+            "local-broadcast" if args.epsilon > 0 else "none"
+        )
+        if args.ns:
+            ns = tuple(args.ns)
+        else:
+            ns = (topology.size,) if topology.size is not None else (64,)
     return SweepGrid(
-        task=args.task,
-        ns=tuple(args.ns),
-        channel=args.channel,
+        task=task,
+        ns=ns,
+        channel=channel,
         epsilon=args.epsilon,
-        simulator=args.simulator,
+        simulator=simulator,
         trials=args.trials,
         seed=args.seed,
+        topology=topology,
     )
 
 

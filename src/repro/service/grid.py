@@ -35,6 +35,20 @@ from repro.channels import (
     SuppressionNoiseChannel,
 )
 from repro.errors import ConfigurationError
+from repro.network.channel import NetworkBeepingChannel
+from repro.network.local_broadcast import LocalBroadcastSimulator
+from repro.network.mis import MISTask
+from repro.network.tasks import (
+    BroadcastTask,
+    NeighborORTask,
+    NetworkSizeEstimateTask,
+)
+from repro.network.topology import (
+    TOPOLOGIES,
+    Topology,
+    TopologySpec,
+    parse_topology,
+)
 from repro.parallel import (
     ChannelSpec,
     ProtocolExecutor,
@@ -61,8 +75,14 @@ from repro.tasks.base import Task
 
 __all__ = [
     "CHANNELS",
+    "NETWORK_CHANNELS",
+    "NETWORK_SIMULATORS",
+    "NETWORK_TASKS",
     "SIMULATORS",
     "TASKS",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "parse_topology",
     "make_task",
     "make_executor",
     "SweepGrid",
@@ -98,6 +118,7 @@ SIMULATORS: dict[str, Any] = {
     "chunk": ChunkCommitSimulator,
     "hierarchical": HierarchicalSimulator,
     "rewind": RewindSimulator,
+    "local-broadcast": LocalBroadcastSimulator,
 }
 
 TASKS: dict[str, Callable[[int], Task]] = {
@@ -112,28 +133,102 @@ TASKS: dict[str, Callable[[int], Task]] = {
     ),
 }
 
+# Network registries: what a scenario *with a topology* may combine.
+# Tasks take the built Topology; channels wrap NetworkBeepingChannel with
+# the TopologySpec kept declarative inside the ChannelSpec (picklable,
+# content-addressable); simulators are the schemes that work with
+# per-node views and no shared transcript.
+NETWORK_TASKS: dict[str, Callable[[Topology], Task]] = {
+    "mis": lambda topology: MISTask(topology),
+    "broadcast": lambda topology: BroadcastTask(topology),
+    "neighbor-or": lambda topology: NeighborORTask(topology),
+    "net-size": lambda topology: NetworkSizeEstimateTask(topology),
+}
 
-def make_task(name: str, n: int) -> Task:
-    """Build the named task at party count ``n``."""
+NETWORK_CHANNELS: dict[
+    str, Callable[[TopologySpec, float], ChannelSpec]
+] = {
+    "noiseless": lambda spec, epsilon: ChannelSpec.of(
+        NetworkBeepingChannel, topology=spec, seed_kwarg=None
+    ),
+    "independent": lambda spec, epsilon: ChannelSpec.of(
+        NetworkBeepingChannel, epsilon, topology=spec
+    ),
+    "edge-erasure": lambda spec, epsilon: ChannelSpec.of(
+        NetworkBeepingChannel, topology=spec, edge_epsilon=epsilon
+    ),
+}
+
+NETWORK_SIMULATORS = ("none", "repetition", "local-broadcast")
+
+
+def make_task(
+    name: str, n: int, topology: TopologySpec | None = None
+) -> Task:
+    """Build the named task at party count ``n``.
+
+    With ``topology``, the name resolves through :data:`NETWORK_TASKS`
+    and the task is built on the spec's graph (``n`` must agree with a
+    size-pinned spec; unpinned generators take ``n`` as their size).
+    """
+    if topology is not None:
+        try:
+            factory = NETWORK_TASKS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown network task {name!r} "
+                f"(choose from {sorted(NETWORK_TASKS)})"
+            ) from None
+        return factory(topology.with_n(n).build())
     try:
-        factory = TASKS[name]
+        task_factory = TASKS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown task {name!r} (choose from {sorted(TASKS)})"
         ) from None
-    return factory(n)
+    return task_factory(n)
 
 
 def make_executor(
-    task: Task, channel: str, epsilon: float, simulator: str
+    task: Task,
+    channel: str,
+    epsilon: float,
+    simulator: str,
+    topology: TopologySpec | None = None,
 ) -> Executor:
-    """The picklable executor every run entry point shares."""
-    try:
-        channel_spec = CHANNELS[channel](epsilon)
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown channel {channel!r} (choose from {sorted(CHANNELS)})"
-        ) from None
+    """The picklable executor every run entry point shares.
+
+    With ``topology``, the channel name resolves through
+    :data:`NETWORK_CHANNELS` (graph-structured channels with the spec
+    embedded declaratively) and only :data:`NETWORK_SIMULATORS` schemes
+    are accepted; without it, ``"local-broadcast"`` is rejected (the
+    scheme calibrates against a topology's degree).
+    """
+    if topology is not None:
+        try:
+            channel_spec = NETWORK_CHANNELS[channel](topology, epsilon)
+        except KeyError:
+            raise ConfigurationError(
+                f"channel {channel!r} has no network form "
+                f"(choose from {sorted(NETWORK_CHANNELS)})"
+            ) from None
+        if simulator not in NETWORK_SIMULATORS:
+            raise ConfigurationError(
+                f"simulator {simulator!r} needs the single-hop shared "
+                f"transcript (network schemes: {sorted(NETWORK_SIMULATORS)})"
+            )
+    else:
+        try:
+            channel_spec = CHANNELS[channel](epsilon)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown channel {channel!r} (choose from {sorted(CHANNELS)})"
+            ) from None
+        if simulator == "local-broadcast":
+            raise ConfigurationError(
+                "the local-broadcast scheme is topology-calibrated; "
+                "pass a topology (e.g. --topology grid:8x8)"
+            )
     try:
         simulator_cls = SIMULATORS[simulator]
     except KeyError:
@@ -171,6 +266,11 @@ class SweepGrid:
         trials: Trials per grid point.
         seed: Master seed (point ``i`` derives
             ``derive_seed(seed, f"point[{i}]")``).
+        topology: Optional :class:`~repro.network.topology.TopologySpec`
+            (or its dict form) turning the sweep into a network sweep:
+            tasks resolve through :data:`NETWORK_TASKS`, channels through
+            :data:`NETWORK_CHANNELS`, and each grid ``n`` builds the
+            generator at that size (a size-pinned spec fixes ``n``).
     """
 
     SCHEMA_VERSION = 1
@@ -182,6 +282,7 @@ class SweepGrid:
     simulator: str = "chunk"
     trials: int = 10
     seed: int = 0
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ns", tuple(int(n) for n in self.ns))
@@ -193,11 +294,31 @@ class SweepGrid:
             raise ConfigurationError(
                 f"trials must be >= 1, got {self.trials}"
             )
-        for registry, name, kind in (
-            (TASKS, self.task, "task"),
-            (CHANNELS, self.channel, "channel"),
-            (SIMULATORS, self.simulator, "simulator"),
-        ):
+        topology = self.topology
+        if topology is not None and not isinstance(topology, TopologySpec):
+            topology = TopologySpec.from_dict(topology)
+            object.__setattr__(self, "topology", topology)
+        if topology is not None:
+            checks = (
+                (NETWORK_TASKS, self.task, "network task"),
+                (NETWORK_CHANNELS, self.channel, "network channel"),
+                (NETWORK_SIMULATORS, self.simulator, "network simulator"),
+            )
+            # Every grid n must be compatible with a size-pinned spec
+            # (with_n raises on mismatch) and buildable at all.
+            for n in self.ns:
+                topology.with_n(n)
+        else:
+            checks = (
+                (TASKS, self.task, "task"),
+                (CHANNELS, self.channel, "channel"),
+                (SIMULATORS, self.simulator, "simulator"),
+            )
+            if self.simulator == "local-broadcast":
+                raise ConfigurationError(
+                    "the local-broadcast scheme needs a topology"
+                )
+        for registry, name, kind in checks:
             if name not in registry:
                 raise ConfigurationError(
                     f"unknown {kind} {name!r} "
@@ -221,15 +342,28 @@ class SweepGrid:
 
     def build_point(self, n: int) -> tuple[Task, Executor, dict[str, Any]]:
         """The ``point_builder`` contract for one grid value."""
-        task = make_task(self.task, n)
-        executor = make_executor(task, self.channel, self.epsilon, self.simulator)
-        return task, executor, {"n": n, "epsilon": self.epsilon}
+        topology = (
+            None if self.topology is None else self.topology.with_n(n)
+        )
+        task = make_task(self.task, n, topology=topology)
+        executor = make_executor(
+            task, self.channel, self.epsilon, self.simulator,
+            topology=topology,
+        )
+        params: dict[str, Any] = {"n": n, "epsilon": self.epsilon}
+        if topology is not None:
+            params["topology"] = topology.label()
+        return task, executor, params
 
     # -- serialization / addressing -------------------------------------
 
     def workload(self) -> dict[str, Any]:
-        """The canonical JSON-able description hashed into cache keys."""
-        return {
+        """The canonical JSON-able description hashed into cache keys.
+
+        The ``topology`` entry appears only on network sweeps, so every
+        pre-existing single-hop cache key is unchanged.
+        """
+        workload: dict[str, Any] = {
             "schema": self.SCHEMA_VERSION,
             "task": self.task,
             "ns": list(self.ns),
@@ -239,6 +373,9 @@ class SweepGrid:
             "trials": self.trials,
             "seed": self.seed,
         }
+        if self.topology is not None:
+            workload["topology"] = self.topology.to_dict()
+        return workload
 
     def to_json(self) -> str:
         """Canonical JSON (sorted keys, byte-stable) for this grid."""
@@ -254,6 +391,7 @@ class SweepGrid:
                 f"SweepGrid schema {schema!r} is not supported "
                 f"(expected {cls.SCHEMA_VERSION})"
             )
+        topology = data.get("topology")
         return cls(
             task=str(data["task"]),
             ns=tuple(int(n) for n in data["ns"]),
@@ -262,6 +400,11 @@ class SweepGrid:
             simulator=str(data["simulator"]),
             trials=int(data["trials"]),
             seed=int(data["seed"]),
+            topology=(
+                None
+                if topology is None
+                else TopologySpec.from_dict(topology)
+            ),
         )
 
     def grid_key(self) -> str:

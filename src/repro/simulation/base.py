@@ -64,6 +64,16 @@ def infer_noise_model(channel: Channel) -> NoiseModel:
         # rate is the honest i.i.d. approximation of a bursty channel and
         # what experiment E10 hands them on purpose.
         return NoiseModel.two_sided(channel.stationary_flip_rate)
+    # Imported lazily: the network package builds on the channel layer
+    # and imports this module for its local-broadcast scheme.
+    from repro.network.channel import NetworkBeepingChannel
+
+    if isinstance(channel, NetworkBeepingChannel):
+        # Per-node flips act both ways; per-edge erasures only suppress
+        # (a reception can lose its sole supporting beep, never gain one).
+        up = channel.max_epsilon
+        down = min(0.999, channel.max_epsilon + channel.edge_epsilon)
+        return NoiseModel(up=up, down=down)
     raise ConfigurationError(
         f"cannot infer a noise model for {type(channel).__name__}; "
         "pass noise_model explicitly"

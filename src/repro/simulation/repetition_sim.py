@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.channels.base import Channel
 from repro.core.engine import run_protocol
-from repro.core.party import Party
+from repro.core.party import Burst, Party
 from repro.core.protocol import Protocol
 from repro.core.result import ExecutionResult
 from repro.simulation.base import SimulationReport, Simulator
@@ -38,22 +38,40 @@ __all__ = ["RepetitionSimulator", "RepetitionWrappedProtocol"]
 
 class _RepetitionParty(Party):
     """Runs an inner party, repeating each of its rounds ``repetitions``
-    times and majority-decoding the channel's answers."""
+    times and majority-decoding the channel's answers.
+
+    Inner batch tokens pass straight through: an inner
+    ``Burst(bit, count)`` becomes one ``Burst(bit, count·k)`` outer
+    token, and the wake-up payload is majority-decoded per group of
+    ``k`` receptions back into the ``count`` virtual heard bits the
+    inner party expects — so token-sparse inner protocols (flooders,
+    decided MIS nodes) stay sparse through the wrapper."""
 
     def __init__(self, inner: Party, repetitions: int) -> None:
         self.inner = inner
         self.repetitions = repetitions
 
     def run(self):
+        k = self.repetitions
         program = self.inner.run()
         try:
-            bit = next(program)
+            item = next(program)
         except StopIteration as stop:
             return stop.value
         while True:
-            decoded = yield from repeated_bit(bit, self.repetitions)
+            if isinstance(item, Burst):
+                count = item.count
+                heard = yield Burst(item.bit, count * k)
+                decoded = bytes(
+                    1
+                    if 2 * sum(heard[group * k : (group + 1) * k]) > k
+                    else 0
+                    for group in range(count)
+                )
+            else:
+                decoded = yield from repeated_bit(item, k)
             try:
-                bit = program.send(decoded)
+                item = program.send(decoded)
             except StopIteration as stop:
                 return stop.value
 

@@ -11,10 +11,32 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_demo_defaults(self):
+        # Scenario flags parse as None sentinels (the defaults depend on
+        # --topology); _resolve_scenario fills the historical single-hop
+        # defaults when no topology is given.
+        from repro.cli import _resolve_scenario
+
         args = build_parser().parse_args(["demo"])
-        assert args.task == "input-set"
-        assert args.simulator == "chunk"
+        assert args.task is None
+        assert args.simulator is None
         assert args.epsilon == 0.1
+        task, _executor, scenario = _resolve_scenario(args)
+        assert scenario["task"] == "input-set"
+        assert scenario["channel"] == "correlated"
+        assert scenario["simulator"] == "chunk"
+        assert scenario["topology"] is None
+        assert task.n_parties == 8
+
+    def test_demo_topology_defaults(self):
+        from repro.cli import _resolve_scenario
+
+        args = build_parser().parse_args(["demo", "--topology", "grid:4x4"])
+        task, _executor, scenario = _resolve_scenario(args)
+        assert scenario["task"] == "mis"
+        assert scenario["channel"] == "independent"
+        assert scenario["simulator"] == "local-broadcast"
+        assert scenario["topology"] == "grid:cols=4,rows=4"
+        assert task.n_parties == 16
 
     def test_overhead_ns_list(self):
         args = build_parser().parse_args(["overhead", "--ns", "4", "8"])
@@ -131,6 +153,23 @@ class TestDemo:
         )
         assert code == 0
         assert "success" in capsys.readouterr().out
+
+    def test_demo_on_grid_topology(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--topology",
+                "grid:4x4",
+                "--epsilon",
+                "0.05",
+                "--trials",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "topology=grid:cols=4,rows=4" in out
+        assert "simulator=local-broadcast" in out
 
     def test_demo_burst_channel(self, capsys):
         code = main(
@@ -312,6 +351,27 @@ class TestSweepService:
             self.run_verb("run", tmp_path, "--shard", "2/2")
         with pytest.raises(ConfigurationError):
             self.run_verb("run", tmp_path, "--shard", "nope")
+
+    def test_network_sweep_caches_and_resumes(self, tmp_path, capsys):
+        # A topology sweep goes through the same content-addressed cache:
+        # cold run computes, warm re-run is all hits.
+        grid = [
+            "--topology",
+            "grid:4x4",
+            "--trials",
+            "2",
+            "--epsilon",
+            "0.05",
+            "--seed",
+            "5",
+        ]
+        cache = ["--cache-dir", str(tmp_path / "cache"), "--json"]
+        assert main(["sweep", "run", *grid, *cache]) == 0
+        cold = self.json_out(capsys)
+        assert cold["computed"] == 1 and cold["hits"] == 0
+        assert main(["sweep", "resume", *grid, *cache]) == 0
+        warm = self.json_out(capsys)
+        assert warm["computed"] == 0 and warm["hits"] == 1
 
     def test_output_writes_points(self, tmp_path, capsys):
         out_file = str(tmp_path / "points.json")

@@ -1,0 +1,192 @@
+"""Unit tests for Davies' local-broadcast simulation scheme."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.channels import IndependentNoiseChannel
+from repro.core import run_protocol
+from repro.errors import ConfigurationError
+from repro.network import (
+    BroadcastTask,
+    LocalBroadcastSimulator,
+    MISTask,
+    NeighborORTask,
+    local_broadcast_repetitions,
+    parse_topology,
+    ring,
+)
+from repro.simulation.repetition_sim import RepetitionWrappedProtocol
+from repro.simulation.params import SimulationParameters, repetitions_for
+
+
+class TestRepetitionCount:
+    def test_noiseless_needs_one_copy(self):
+        assert local_broadcast_repetitions(4, 100, 0.0) == 1
+
+    def test_always_odd(self):
+        for epsilon in (0.05, 0.1, 0.2, 0.3, 0.45):
+            for degree in (1, 4, 16):
+                assert (
+                    local_broadcast_repetitions(degree, 50, epsilon) % 2 == 1
+                )
+
+    def test_monotone_in_degree_length_and_noise(self):
+        base = local_broadcast_repetitions(4, 10, 0.1)
+        assert local_broadcast_repetitions(64, 10, 0.1) >= base
+        assert local_broadcast_repetitions(4, 1000, 0.1) >= base
+        assert local_broadcast_repetitions(4, 10, 0.3) >= base
+
+    def test_degree_not_global_size_sets_the_budget(self):
+        """Davies' point: on a bounded-degree graph the budget depends on
+        Δ and T, never on n — so it undercuts the single-hop Θ(log n)
+        count at scale."""
+        local = local_broadcast_repetitions(4, 1, 0.1)
+        single_hop = repetitions_for(1024, 0.1)
+        assert local < single_hop
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            local_broadcast_repetitions(4, 10, 0.5)
+        with pytest.raises(ConfigurationError):
+            local_broadcast_repetitions(4, 10, -0.1)
+        with pytest.raises(ConfigurationError):
+            local_broadcast_repetitions(-1, 10, 0.1)
+        with pytest.raises(ConfigurationError):
+            local_broadcast_repetitions(4, 0, 0.1)
+
+
+class TestSimulatorContract:
+    def test_requires_network_channel(self):
+        task = MISTask(ring(4))
+        inputs = task.sample_inputs(random.Random(0))
+        with pytest.raises(ConfigurationError):
+            LocalBroadcastSimulator().simulate(
+                task.noiseless_protocol(),
+                inputs,
+                IndependentNoiseChannel(0.1, rng=0),
+            )
+
+    def test_report_carries_calibration(self):
+        task = NeighborORTask(parse_topology("grid:4x4").build())
+        inputs = task.sample_inputs(random.Random(0))
+        result = LocalBroadcastSimulator().simulate(
+            task.noiseless_protocol(),
+            inputs,
+            task.channel(epsilon=0.1, rng=1),
+        )
+        report = result.metadata["report"]
+        assert report.extra["max_degree"] == 4
+        assert report.extra["epsilon"] == pytest.approx(0.1)
+        assert report.extra["repetitions"] == local_broadcast_repetitions(
+            4, 1, 0.1
+        )
+        assert result.rounds == report.extra["repetitions"]
+
+    def test_explicit_repetitions_override(self):
+        task = NeighborORTask(parse_topology("grid:4x4").build())
+        inputs = task.sample_inputs(random.Random(0))
+        simulator = LocalBroadcastSimulator(
+            params=SimulationParameters(repetitions=5)
+        )
+        result = simulator.simulate(
+            task.noiseless_protocol(),
+            inputs,
+            task.channel(epsilon=0.1, rng=1),
+        )
+        assert result.metadata["report"].extra["repetitions"] == 5
+        assert result.rounds == 5
+
+    def test_edge_erasures_raise_the_budget(self):
+        task = NeighborORTask(parse_topology("grid:4x4").build())
+        inputs = task.sample_inputs(random.Random(0))
+        result = LocalBroadcastSimulator().simulate(
+            task.noiseless_protocol(),
+            inputs,
+            task.channel(epsilon=0.1, rng=1, edge_epsilon=0.1),
+        )
+        # ε_eff = node ε + edge ε: erasures count against the majority.
+        assert result.metadata["report"].extra["epsilon"] == pytest.approx(
+            0.2
+        )
+
+
+class TestTokenAwareWrapper:
+    def test_burst_tokens_pass_through_scaled(self):
+        """An inner Burst(bit, c) crosses the wrapper as one
+        Burst(bit, c*k) token: the flooding protocol stays token-sparse
+        and the round count is exactly T*k."""
+        task = BroadcastTask(parse_topology("grid:4x4").build())
+        inputs = task.sample_inputs(random.Random(3))
+        k = 3
+        wrapped = RepetitionWrappedProtocol(task.noiseless_protocol(), k)
+        result = run_protocol(wrapped, inputs, task.channel())
+        assert result.rounds == task.noiseless_length() * k
+        assert task.is_correct(inputs, result.outputs)
+
+
+class TestEndToEnd:
+    def test_neighbor_or_survives_noise(self):
+        task = NeighborORTask(parse_topology("grid:5x5").build())
+        simulator = LocalBroadcastSimulator()
+        wins = 0
+        for trial in range(20):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = simulator.simulate(
+                task.noiseless_protocol(),
+                inputs,
+                task.channel(epsilon=0.1, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins >= 18
+
+    def test_unprotected_baseline_fails(self):
+        task = NeighborORTask(parse_topology("grid:5x5").build())
+        wins = 0
+        for trial in range(20):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(),
+                inputs,
+                task.channel(epsilon=0.1, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins <= 10  # 25 nodes x 10% flip rate: most trials break
+
+    def test_mis_on_ring_with_noise(self):
+        task = MISTask(ring(12))
+        simulator = LocalBroadcastSimulator()
+        wins = 0
+        for trial in range(10):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = simulator.simulate(
+                task.noiseless_protocol(),
+                inputs,
+                task.channel(epsilon=0.05, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins >= 9
+
+
+@pytest.mark.slow
+class TestStatisticalValidation:
+    """RUN_SLOW=1: Wilson-CI check of the scheme's error guarantee."""
+
+    def test_success_rate_wilson_lower_bound(self):
+        task = NeighborORTask(parse_topology("grid:6x6").build())
+        simulator = LocalBroadcastSimulator()
+        trials = 300
+        wins = 0
+        for trial in range(trials):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = simulator.simulate(
+                task.noiseless_protocol(),
+                inputs,
+                task.channel(epsilon=0.15, rng=trial),
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        low, _high = wilson_interval(wins, trials)
+        # The Hoeffding budget makes per-trial failure ≪ 1%; the 95%
+        # Wilson lower bound on 300 trials must clear 0.95 comfortably.
+        assert low >= 0.95, f"{wins}/{trials} (wilson low {low:.3f})"

@@ -5,16 +5,27 @@ import random
 import pytest
 
 from repro.channels import IndependentNoiseChannel, NoiselessChannel
+from repro.channels.stats import ChannelStats
 from repro.core import run_protocol
 from repro.errors import ChannelError, ConfigurationError, TaskError
 from repro.network import (
+    BroadcastTask,
     MISTask,
+    NeighborORTask,
     NetworkBeepingChannel,
+    NetworkSizeEstimateTask,
     complete,
     grid,
     mis_protocol,
+    parse_topology,
     ring,
 )
+
+_STAT_FIELDS = ("rounds", "beeps_sent", "or_ones", "flips_up", "flips_down")
+
+
+def _stats_tuple(stats):
+    return tuple(getattr(stats, name) for name in _STAT_FIELDS)
 
 
 class TestTopologies:
@@ -113,6 +124,178 @@ class TestNetworkChannel:
         channel = NetworkBeepingChannel([(1,), ()])
         outcome = channel.transmit((0, 1))
         assert outcome.received == (1, 0)
+
+
+class TestSingleHopPin:
+    """Complete graph + hear_self IS the single-hop independent channel.
+
+    Not statistically — bitwise: same seed, same draws, same received
+    words, same stats counters.  This is the equivalence that anchors
+    the network substrate to the paper's channel.
+    """
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.3])
+    def test_bitwise_identical_to_independent(self, n, epsilon):
+        network = NetworkBeepingChannel(
+            complete(n), epsilon=epsilon, hear_self=True, rng=42
+        )
+        single = IndependentNoiseChannel(epsilon, rng=42)
+        rng = random.Random(n)
+        for _ in range(200):
+            bits = tuple(rng.getrandbits(1) for _ in range(n))
+            ours, theirs = network.transmit(bits), single.transmit(bits)
+            assert ours.received == theirs.received
+            assert ours.or_value == theirs.or_value
+        assert _stats_tuple(network.stats) == _stats_tuple(single.stats)
+
+    def test_step_matches_transmit_draws(self):
+        """The sparse API consumes the same randomness as the dense one."""
+        topology = parse_topology("geometric:n=60,r=0.2,seed=1").build()
+        dense = NetworkBeepingChannel(topology, epsilon=0.05, rng=9)
+        sparse = NetworkBeepingChannel(topology, epsilon=0.05, rng=9)
+        rng = random.Random(0)
+        for _ in range(100):
+            bits = tuple(
+                rng.getrandbits(1) for _ in range(topology.n)
+            )
+            outcome = dense.transmit(bits)
+            or_value, ones = sparse.step(
+                [i for i, bit in enumerate(bits) if bit]
+            )
+            assert or_value == outcome.or_value
+            assert sorted(ones) == [
+                i for i, bit in enumerate(outcome.received) if bit
+            ]
+        assert _stats_tuple(dense.stats) == _stats_tuple(sparse.stats)
+
+
+class TestEdgeAndNodeNoise:
+    def test_edge_erasure_only_suppresses(self):
+        channel = NetworkBeepingChannel(ring(6), edge_epsilon=0.5, rng=7)
+        for _ in range(300):
+            outcome = channel.transmit((1, 0, 0, 0, 0, 0))
+            # Erasures can only silence edges: nobody outside the clean
+            # neighborhood {1, 5} ever hears anything.
+            assert all(
+                outcome.received[i] == 0 for i in (0, 2, 3, 4)
+            )
+        assert channel.stats.flips_up == 0
+        assert channel.stats.flips_down > 0
+
+    def test_hear_self_immune_to_edge_erasure(self):
+        channel = NetworkBeepingChannel(
+            ring(4), edge_epsilon=0.99, hear_self=True, rng=0
+        )
+        for _ in range(50):
+            assert channel.transmit((1, 0, 0, 0)).received[0] == 1
+
+    def test_per_node_epsilons(self):
+        channel = NetworkBeepingChannel(
+            ring(4), node_epsilons=[0.5, 0.0, 0.0, 0.0], rng=3
+        )
+        for _ in range(200):
+            outcome = channel.transmit((0, 0, 0, 0))
+            assert outcome.received[1:] == (0, 0, 0)
+        assert channel.stats.flips_up > 0
+
+    def test_node_epsilons_arity_checked(self):
+        with pytest.raises(ConfigurationError):
+            NetworkBeepingChannel(ring(4), node_epsilons=[0.1, 0.1])
+
+
+class TestNoiseAccounting:
+    def test_topology_shadow_is_not_noise(self):
+        """The documented conflation fix: on a non-complete graph, a node
+        not hearing a far-away beep is topology, not noise."""
+        channel = NetworkBeepingChannel(ring(6))
+        outcome = channel.transmit((1, 0, 0, 0, 0, 0))
+        # Global OR is 1 but nodes 2..4 hear 0 — and that is NOT noisy.
+        assert outcome.or_value == 1
+        assert outcome.flips == (0, 0)
+        assert not outcome.noisy
+        assert channel.stats.flips == 0
+
+    def test_flips_field_sums_to_stats(self):
+        channel = NetworkBeepingChannel(ring(8), epsilon=0.3, rng=11)
+        up = down = 0
+        rng = random.Random(1)
+        for _ in range(200):
+            bits = tuple(rng.getrandbits(1) for _ in range(8))
+            outcome = channel.transmit(bits)
+            up += outcome.flips[0]
+            down += outcome.flips[1]
+        assert (up, down) == (
+            channel.stats.flips_up,
+            channel.stats.flips_down,
+        )
+
+    def test_observed_from_transcript_reconstructs_network_stats(self):
+        """The drift tripwire works with divergent per-node views because
+        the channel routes its accounting through append_raw's flips."""
+        task = MISTask(ring(6))
+        channel = task.channel(epsilon=0.1, rng=2)
+        inputs = task.sample_inputs(random.Random(0))
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, channel
+        )
+        observed = ChannelStats.observed_from_transcript(result.transcript)
+        assert observed.rounds == result.rounds
+        assert observed.flips_up == result.channel_stats.flips_up
+        assert observed.flips_down == result.channel_stats.flips_down
+        assert observed.or_ones == result.channel_stats.or_ones
+
+
+class TestNetworkTasks:
+    @pytest.mark.parametrize(
+        "spec",
+        ["grid:4x5", "geometric:n=30,r=0.3,seed=2", "scale-free:n=25,m=2,seed=4"],
+    )
+    def test_broadcast_floods_noiselessly(self, spec):
+        task = BroadcastTask(parse_topology(spec).build())
+        for trial in range(10):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, task.channel()
+            )
+            assert task.is_correct(inputs, result.outputs), spec
+
+    def test_neighbor_or_is_one_round(self):
+        task = NeighborORTask(parse_topology("grid:3x3").build())
+        inputs = task.sample_inputs(random.Random(0))
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, task.channel()
+        )
+        assert result.rounds == 1
+        assert task.is_correct(inputs, result.outputs)
+
+    def test_neighbor_or_reference_output_unavailable(self):
+        task = NeighborORTask(parse_topology("grid:3x3").build())
+        with pytest.raises(TaskError):
+            task.reference_output([0] * 9)
+
+    def test_net_size_estimate_noiseless(self):
+        task = NetworkSizeEstimateTask(parse_topology("grid:6x6").build())
+        wins = 0
+        for trial in range(10):
+            inputs = task.sample_inputs(random.Random(trial))
+            result = run_protocol(
+                task.noiseless_protocol(), inputs, task.channel()
+            )
+            wins += task.is_correct(inputs, result.outputs)
+        assert wins >= 9
+
+    def test_broadcast_requires_connected_for_full_delivery(self):
+        # Unreachable nodes must end with 0 and the checker knows it.
+        task = BroadcastTask(
+            [(1,), (0,), (3,), (2,)]  # two disconnected edges
+        )
+        inputs = [1, 0, 0, 0]
+        result = run_protocol(
+            task.noiseless_protocol(), inputs, task.channel()
+        )
+        assert task.is_correct(inputs, result.outputs)
+        assert result.outputs[2:] == [0, 0]
 
 
 class TestMISTask:

@@ -1,0 +1,161 @@
+"""Unit tests for topology generators and the TopologySpec API."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import TOPOLOGIES, Topology, TopologySpec, parse_topology
+
+
+class TestTopologyClass:
+    def test_from_adjacency_sorts_and_dedupes(self):
+        topology = Topology.from_adjacency([(2, 1, 1), (0,), (0,)])
+        assert topology.in_neighbors(0) == (1, 2)
+
+    def test_symmetric_flag(self):
+        assert Topology.from_adjacency([(1,), (0,)]).symmetric
+        assert not Topology.from_adjacency([(1,), ()]).symmetric
+
+    def test_directed_in_out_views(self):
+        topology = Topology.from_adjacency([(1,), ()])
+        # Node 0 hears node 1; so node 1's beeps go OUT to node 0.
+        assert topology.in_neighbors(0) == (1,)
+        assert topology.out_neighbors(1) == (0,)
+        assert topology.out_neighbors(0) == ()
+
+    def test_bfs_distances_and_unreachable(self):
+        topology = Topology.from_adjacency([(1,), (0,), (3,), (2,)])
+        distances = topology.bfs_distances(0)
+        assert distances[:2] == [0, 1]
+        assert distances[2:] == [-1, -1]
+
+    def test_max_in_degree(self):
+        star = Topology.from_adjacency([(1, 2, 3), (0,), (0,), (0,)])
+        assert star.max_in_degree == 3
+
+
+class TestGenerators:
+    REQUIRED = {
+        "geometric": {"radius": 0.35, "seed": 0},
+        "scale-free": {"m": 2, "seed": 0},
+    }
+
+    @pytest.mark.parametrize("kind", sorted(TOPOLOGIES))
+    def test_all_families_build_symmetric_graphs(self, kind):
+        spec = TopologySpec.of(kind, **self.REQUIRED.get(kind, {})).with_n(24)
+        topology = spec.build()
+        assert topology.n == 24
+        assert topology.symmetric
+
+    def test_grid_shape_matches_bare_n(self):
+        shaped = TopologySpec.of("grid", rows=4, cols=6).build()
+        assert shaped.n == 24
+        assert shaped.max_in_degree == 4
+
+    def test_grid_partial_last_row(self):
+        topology = TopologySpec.of("grid", n=7).build()
+        assert topology.n == 7
+        assert topology.symmetric
+
+    def test_geometric_radius_controls_degree(self):
+        sparse = TopologySpec.of(
+            "geometric", n=200, radius=0.05, seed=1
+        ).build()
+        dense = TopologySpec.of(
+            "geometric", n=200, radius=0.4, seed=1
+        ).build()
+        assert dense.edges > sparse.edges
+
+    def test_geometric_seed_determinism(self):
+        a = TopologySpec.of("geometric", n=100, radius=0.2, seed=9)
+        b = TopologySpec.of("geometric", n=100, radius=0.2, seed=9)
+        c = TopologySpec.of("geometric", n=100, radius=0.2, seed=10)
+        assert a.build().adjacency_lists() == b.build().adjacency_lists()
+        assert a.build().adjacency_lists() != c.build().adjacency_lists()
+
+    def test_scale_free_connected_and_bounded(self):
+        topology = TopologySpec.of("scale-free", n=80, m=2, seed=3).build()
+        assert topology.symmetric
+        assert all(d >= 0 for d in topology.bfs_distances(0))
+        # Preferential attachment adds <= m edges per arriving node.
+        assert topology.edges <= 2 * (2 * 80)
+
+
+class TestTopologySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec.of("torus", n=9)
+
+    def test_params_canonicalized(self):
+        a = TopologySpec.of("geometric", seed=1, radius=0.2, n=10)
+        b = TopologySpec.of("geometric", n=10, radius=0.2, seed=1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_size_and_with_n(self):
+        open_spec = TopologySpec.of("geometric", radius=0.2)
+        assert open_spec.size is None
+        pinned = open_spec.with_n(50)
+        assert pinned.size == 50
+        assert pinned.with_n(50) is pinned
+        with pytest.raises(ConfigurationError):
+            pinned.with_n(51)
+
+    def test_grid_shape_pins_size(self):
+        spec = TopologySpec.of("grid", rows=3, cols=5)
+        assert spec.size == 15
+        with pytest.raises(ConfigurationError):
+            spec.with_n(16)
+
+    def test_json_round_trip(self):
+        spec = TopologySpec.of("geometric", n=64, radius=0.25, seed=7)
+        payload = json.dumps(spec.to_dict(), sort_keys=True)
+        revived = TopologySpec.from_dict(json.loads(payload))
+        assert revived == spec
+        assert revived.build() is spec.build()  # memoized builder
+
+    def test_label_round_trip(self):
+        spec = TopologySpec.of("geometric", n=64, radius=0.25, seed=7)
+        assert parse_topology(spec.label()) == spec
+
+    def test_pickles(self):
+        spec = TopologySpec.of("grid", rows=8, cols=8)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_build_memoized(self):
+        spec = TopologySpec.of("grid", rows=6, cols=6)
+        assert spec.build() is TopologySpec.of(
+            "grid", cols=6, rows=6
+        ).build()
+
+
+class TestParseTopology:
+    def test_bare_kind(self):
+        assert parse_topology("ring") == TopologySpec.of("ring")
+
+    def test_bare_node_count(self):
+        assert parse_topology("complete:64") == TopologySpec.of(
+            "complete", n=64
+        )
+
+    def test_grid_shape_shorthand(self):
+        assert parse_topology("grid:32x32") == TopologySpec.of(
+            "grid", rows=32, cols=32
+        )
+
+    def test_key_value_params_with_aliases(self):
+        spec = parse_topology("geometric:n=10000,r=0.02,seed=7")
+        assert spec == TopologySpec.of(
+            "geometric", n=10000, radius=0.02, seed=7
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_topology("moebius:8")
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_topology("ring:wat")
+        with pytest.raises(ConfigurationError):
+            parse_topology("grid:3xpi")
