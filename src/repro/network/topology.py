@@ -46,6 +46,11 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
+try:  # numpy accelerates BFS and feeds the vectorized network kernel.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 __all__ = [
     "Topology",
     "TopologyFamily",
@@ -76,6 +81,7 @@ class Topology:
         "_out_indptr",
         "_out_indices",
         "symmetric",
+        "_csr_cache",
     )
 
     def __init__(
@@ -94,6 +100,8 @@ class Topology:
         self._out_indices = out_indices
         #: True when the in- and out-edge sets coincide (undirected graph).
         self.symmetric = symmetric
+        # Lazily built numpy mirrors of the CSR arrays (see csr_arrays).
+        self._csr_cache = None
 
     @classmethod
     def from_adjacency(
@@ -173,9 +181,51 @@ class Topology:
         ptr = self._out_indptr
         return ptr[node + 1] - ptr[node]
 
+    def csr_arrays(self):
+        """The CSR arrays as numpy ``(in_ptr, in_idx, out_ptr, out_idx)``.
+
+        Built once per topology and cached: compact integer mirrors of
+        the ``array('l')`` storage (``int32`` until the edge count needs
+        wider), which is what the vectorized network kernel gathers
+        through and the numpy BFS frontier walks.  The scalar channel
+        keeps iterating the ``array('l')`` originals — python-level
+        indexing of numpy integers is measurably slower than of plain
+        ints, so the pure-Python sparse walk never touches these.
+
+        Requires numpy (:class:`~repro.errors.ConfigurationError` when
+        missing — callers on the pure-Python path never need it).
+        """
+        if _np is None:
+            raise ConfigurationError(
+                "Topology.csr_arrays requires numpy; the pure-Python "
+                "accessors (in_neighbors, bfs_distances, ...) work "
+                "without it"
+            )
+        if self._csr_cache is None:
+            dtype = (
+                _np.int32
+                if self.n < 2**31 and len(self._in_indices) < 2**31
+                else _np.int64
+            )
+            self._csr_cache = tuple(
+                _np.frombuffer(arr, dtype="l").astype(dtype)
+                if len(arr)
+                else _np.zeros(0, dtype=dtype)
+                for arr in (
+                    self._in_indptr,
+                    self._in_indices,
+                    self._out_indptr,
+                    self._out_indices,
+                )
+            )
+        return self._csr_cache
+
     @property
     def max_in_degree(self) -> int:
         """The largest in-degree Δ (what local-broadcast calibrates on)."""
+        if _np is not None:
+            in_ptr = self.csr_arrays()[0]
+            return int(_np.diff(in_ptr).max(initial=0))
         ptr = self._in_indptr
         return max(
             (ptr[i + 1] - ptr[i] for i in range(self.n)), default=0
@@ -187,11 +237,20 @@ class Topology:
 
     def bfs_distances(self, source: int = 0) -> list[int]:
         """Hop distance from ``source`` along *out* edges (the direction
-        information floods); ``-1`` for unreachable nodes."""
+        information floods); ``-1`` for unreachable nodes.
+
+        Runs a whole-frontier numpy walk over :meth:`csr_arrays` when
+        numpy is available, else the list-based loop.  Both are
+        bitwise-identical: a BFS distance is set exactly once (the first
+        level that reaches the node), so intra-level visit order cannot
+        change any entry.
+        """
         if not 0 <= source < self.n:
             raise ConfigurationError(
                 f"source {source} outside [0, {self.n})"
             )
+        if _np is not None:
+            return self._bfs_distances_numpy(source)
         dist = [-1] * self.n
         dist[source] = 0
         frontier = [source]
@@ -208,6 +267,34 @@ class Topology:
                         next_frontier.append(i)
             frontier = next_frontier
         return dist
+
+    def _bfs_distances_numpy(self, source: int) -> list[int]:
+        """Frontier-at-a-time BFS over the numpy CSR mirrors."""
+        _, _, ptr, idx = self.csr_arrays()
+        dist = _np.full(self.n, -1, dtype=_np.int64)
+        dist[source] = 0
+        frontier = _np.array([source], dtype=ptr.dtype)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            starts = ptr[frontier]
+            counts = ptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if not total:
+                break
+            offsets = _np.repeat(_np.cumsum(counts) - counts, counts)
+            positions = (
+                _np.arange(total, dtype=starts.dtype)
+                - offsets
+                + _np.repeat(starts, counts)
+            )
+            neighbors = idx[positions]
+            fresh = _np.unique(neighbors[dist[neighbors] < 0])
+            if not fresh.size:
+                break
+            dist[fresh] = depth
+            frontier = fresh
+        return dist.tolist()
 
     def eccentricity(self, source: int = 0) -> int:
         """Max hop distance from ``source`` over its reachable set."""

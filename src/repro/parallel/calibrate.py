@@ -23,7 +23,12 @@ import time
 from typing import Callable
 
 from repro.channels import CorrelatedNoiseChannel, SuppressionNoiseChannel
-from repro.parallel.executors import ChannelSpec, SimulationExecutor, SimulatorSpec
+from repro.parallel.executors import (
+    ChannelSpec,
+    ProtocolExecutor,
+    SimulationExecutor,
+    SimulatorSpec,
+)
 from repro.parallel.runner import SerialRunner
 from repro.simulation import (
     ChunkCommitSimulator,
@@ -38,7 +43,9 @@ __all__ = [
     "run_calibration",
     "write_crossover",
     "CALIBRATION_SCHEMES",
+    "NETWORK_CALIBRATION_SCHEMES",
     "DEFAULT_N_GRID",
+    "NETWORK_N_GRID",
 ]
 
 #: scheme key (simulator class name) -> (simulator spec, channel spec).
@@ -65,8 +72,64 @@ CALIBRATION_SCHEMES = {
 
 DEFAULT_N_GRID = (2, 4, 8, 16, 32)
 
+#: Node counts for the graph schemes — network batches pay off at larger
+#: ``n`` than the single-hop collapses, so they get their own grid
+#: (perfect squares: the calibration topology is a square grid graph).
+NETWORK_N_GRID = (16, 64, 256, 1024)
+
 #: Crossover sentinel when the vectorized path never won on the grid.
 NEVER = 1 << 30
+
+
+def _network_scheme(task_factory, simulator_spec=None):
+    """An ``n``-parameterized builder returning ``(task, executor)``.
+
+    The graph schemes cannot use the fixed ``(simulator, channel)`` pair
+    shape — the topology, the task, and (for broadcast) the protocol
+    length all depend on ``n`` — so their registry entries are callables;
+    :func:`run_calibration` accepts both shapes.  The channel matches the
+    network micro-benchmark pairing: per-node noise at 0.1 on a square
+    grid graph.
+    """
+
+    def build(n: int):
+        from repro.network.channel import NetworkBeepingChannel
+        from repro.network.topology import TopologySpec
+
+        side = max(2, int(round(n ** 0.5)))
+        spec = TopologySpec.of("grid", rows=side, cols=side)
+        task = task_factory(spec.build())
+        channel = ChannelSpec.of(
+            NetworkBeepingChannel, 0.1, topology=spec
+        )
+        if simulator_spec is None:
+            return task, ProtocolExecutor(task, channel)
+        return task, SimulationExecutor(
+            task=task, channel=channel, simulator=simulator_spec
+        )
+
+    build.n_grid = NETWORK_N_GRID
+    return build
+
+
+def _network_calibration_schemes():
+    from repro.network.local_broadcast import LocalBroadcastSimulator
+    from repro.network.mis import MISTask
+    from repro.network.tasks import BroadcastTask, NeighborORTask
+
+    return {
+        "NeighborORTask": _network_scheme(NeighborORTask),
+        "BroadcastTask": _network_scheme(BroadcastTask),
+        "MISTask": _network_scheme(MISTask),
+        "LocalBroadcastSimulator": _network_scheme(
+            NeighborORTask,
+            SimulatorSpec.of(LocalBroadcastSimulator),
+        ),
+    }
+
+
+#: scheme key (crossover-table row) -> n-parameterized builder.
+NETWORK_CALIBRATION_SCHEMES = _network_calibration_schemes()
 
 
 def trials_for_budget(
@@ -118,10 +181,20 @@ def run_calibration(
     the vectorized path wins at every measured ``n`` onward (crossovers
     are monotone in ``n``: the collapse amortizes per-round party work).
     A scheme that never wins gets a never-select sentinel.
+
+    A scheme entry is either the classic ``(simulator_spec,
+    channel_spec)`` pair — measured over :class:`~repro.tasks.ParityTask`
+    on the shared ``n_grid`` — or an ``n``-parameterized builder callable
+    returning ``(task, executor)`` (the network schemes), optionally
+    carrying its own grid as a ``n_grid`` attribute.
     """
     from repro.vectorized import VectorizedRunner
 
-    schemes = schemes if schemes is not None else CALIBRATION_SCHEMES
+    if schemes is None:
+        schemes = {
+            **CALIBRATION_SCHEMES,
+            **NETWORK_CALIBRATION_SCHEMES,
+        }
     serial = SerialRunner()
     vectorized = VectorizedRunner()
     table: dict = {
@@ -136,13 +209,26 @@ def run_calibration(
         "default_vectorized_min_n": 16,
         "schemes": {},
     }
-    for scheme, (simulator_spec, channel_spec) in schemes.items():
+    for scheme, entry in schemes.items():
+        builder = entry if callable(entry) else None
+        grid = (
+            getattr(builder, "n_grid", n_grid)
+            if builder is not None
+            else n_grid
+        )
         measured = []
-        for n in n_grid:
-            task = ParityTask(n)
-            executor = SimulationExecutor(
-                task=task, channel=channel_spec, simulator=simulator_spec
-            )
+        for n in grid:
+            if builder is not None:
+                task, executor = builder(n)
+                n = getattr(task, "n_parties", n)
+            else:
+                simulator_spec, channel_spec = entry
+                task = ParityTask(n)
+                executor = SimulationExecutor(
+                    task=task,
+                    channel=channel_spec,
+                    simulator=simulator_spec,
+                )
             scalar_rate = _rate(serial, task, executor, budget_s, seed)
             vector_rate = _rate(vectorized, task, executor, budget_s, seed)
             measured.append(

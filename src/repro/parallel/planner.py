@@ -133,13 +133,20 @@ class AutoRunner(TrialRunner):
     ) -> tuple[str | None, str | None]:
         """``(scheme_name, None)`` when the batch can collapse, else
         ``(scheme_name_or_None, reason)`` mirroring the vectorized
-        runner's classification (without requiring numpy)."""
+        runner's classification (without requiring numpy).
+
+        Network batches report the route's crossover key — the task type
+        name for raw protocol routes (``"MISTask"``), the simulator name
+        for the local-broadcast route — so graph schemes get their own
+        measured ``vectorized_min_n`` rows.
+        """
         from repro.parallel.executors import SimulationExecutor
 
-        if not isinstance(executor, SimulationExecutor):
-            return None, "executor is not a SimulationExecutor"
-        simulator = executor.simulator.make()
-        scheme = type(simulator).__name__
+        simulator = None
+        scheme = None
+        if isinstance(executor, SimulationExecutor):
+            simulator = executor.simulator.make()
+            scheme = type(simulator).__name__
         try:
             from repro.vectorized.noise import HAVE_NUMPY
             from repro.vectorized.runner import _COLLAPSED_SCHEMES
@@ -148,14 +155,21 @@ class AutoRunner(TrialRunner):
             return scheme, "vectorized package unavailable"
         if not HAVE_NUMPY:
             return scheme, "numpy unavailable"
-        if type(simulator) not in _COLLAPSED_SCHEMES:
-            return scheme, f"no collapsed form for {scheme}"
-        probe = executor.channel.make(derive_seed(seed, "trial[0]"))
-        if type(probe) not in CHANNEL_KINDS:
-            return scheme, (
-                f"no collapsed replay for {type(probe).__name__}"
-            )
-        return scheme, None
+        if simulator is None:
+            reason = "executor is not a SimulationExecutor"
+        elif type(simulator) not in _COLLAPSED_SCHEMES:
+            reason = f"no collapsed form for {scheme}"
+        else:
+            probe = executor.channel.make(derive_seed(seed, "trial[0]"))
+            if type(probe) in CHANNEL_KINDS:
+                return scheme, None
+            reason = f"no collapsed replay for {type(probe).__name__}"
+        from repro.vectorized.network import classify_network
+
+        route, net_reason = classify_network(executor, seed)
+        if route is not None:
+            return route.scheme, None
+        return scheme, f"{reason}; {net_reason}"
 
     def _plan(
         self, task: Task, executor: Executor, trials: int, seed: int

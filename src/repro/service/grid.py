@@ -361,7 +361,11 @@ class SweepGrid:
         """The canonical JSON-able description hashed into cache keys.
 
         The ``topology`` entry appears only on network sweeps, so every
-        pre-existing single-hop cache key is unchanged.
+        pre-existing single-hop cache key is unchanged.  The runner is
+        deliberately absent: every backend — serial, process, vectorized
+        (including the trial-batched network kernel), composed — is
+        bitwise-identical per ``(seed, index)``, so a cache warmed by
+        one backend hits from any other.
         """
         workload: dict[str, Any] = {
             "schema": self.SCHEMA_VERSION,

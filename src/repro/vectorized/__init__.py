@@ -14,6 +14,9 @@ bit-matrices, bitwise-equivalent to the scalar engine trial by trial:
 * :mod:`repro.vectorized.schemes_repetition` /
   :mod:`repro.vectorized.schemes_hierarchical` — the collapsed
   repetition and Appendix-D.2 hierarchy simulations;
+* :mod:`repro.vectorized.network` — the trial-batched CSR
+  neighborhood-OR kernel and the batched graph drivers (neighbor-OR,
+  broadcast, MIS, local-broadcast wrapper);
 * :mod:`repro.vectorized.runner` — :class:`VectorizedRunner`, with
   scalar fallback for batches it cannot collapse;
 * :mod:`repro.vectorized.process_runner` —
@@ -36,6 +39,12 @@ from repro.vectorized.bitmatrix import (
     unpack_rows,
 )
 from repro.vectorized.decoder import VectorizedMLDecoder
+from repro.vectorized.network import (
+    NetworkBatchKernel,
+    NetworkRoute,
+    classify_network,
+    network_records,
+)
 from repro.vectorized.noise import (
     HAVE_NUMPY,
     BatchFlips,
@@ -72,6 +81,10 @@ __all__ = [
     "simulate_rewind",
     "simulate_repetition",
     "simulate_hierarchical",
+    "NetworkBatchKernel",
+    "NetworkRoute",
+    "classify_network",
+    "network_records",
     "VectorizedRunner",
     "VectorizedProcessRunner",
 ]

@@ -161,6 +161,8 @@ class FlipStream:
         self.draws += rounds
         if len(pieces) == 1:
             return pieces[0]
+        if not pieces:
+            return _np.zeros(0, dtype=_np.uint8)
         return _np.concatenate(pieces)
 
 

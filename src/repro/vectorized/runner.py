@@ -20,9 +20,13 @@ trial a vectorized sweep records can therefore be replayed on the scalar
 engine from its ``(seed, index)`` alone, which is what the cross-backend
 equivalence suite does.
 
-Batches the backend cannot collapse (non-simulation executors, simulators
-outside the collapsed registry, channel families outside the correlated
-shared-bit model) run through the scalar :func:`run_trial` loop instead —
+Graph-topology batches route to the trial-batched CSR kernel of
+:mod:`repro.vectorized.network` instead: the network protocol families
+(neighbor-OR, broadcast, MIS) raw or under the local-broadcast
+repetition wrapper, over a single-noise-kind ``NetworkBeepingChannel``.
+Batches neither model collapses (simulators outside both registries,
+channel families outside the correlated shared-bit or network models,
+per-node epsilon vectors) run through the scalar :func:`run_trial` loop —
 same records, with ``timing["fallback"]`` set and the reason in
 ``last_fallback_reason``, mirroring the process-pool backend's downgrade
 protocol.
@@ -54,6 +58,11 @@ from repro.simulation.hierarchical import HierarchicalSimulator
 from repro.simulation.repetition_sim import RepetitionSimulator
 from repro.simulation.rewind import RewindSimulator
 from repro.tasks.base import Task
+from repro.vectorized.network import (
+    NetworkRoute,
+    classify_network,
+    network_records,
+)
 from repro.vectorized.noise import BatchFlips, require_numpy
 from repro.vectorized.schemes import (
     CHANNEL_KINDS,
@@ -104,7 +113,23 @@ class VectorizedRunner(TrialRunner):
         return 1
 
     def _classify(self, executor: Executor, seed: int):
-        """The collapsed scheme for this batch, or a fallback reason."""
+        """The collapsed scheme for this batch, or a fallback reason.
+
+        Routes come in two shapes: a ``(simulator, collapsed)`` pair for
+        the single-hop party-collapsed schemes, or a
+        :class:`~repro.vectorized.network.NetworkRoute` for the batched
+        graph kernel.  Both are tried; a batch falls back to the scalar
+        loop only when neither applies, with the reasons joined.
+        """
+        route, reason = self._classify_single_hop(executor, seed)
+        if route is not None:
+            return route, None
+        net_route, net_reason = classify_network(executor, seed)
+        if net_route is not None:
+            return net_route, None
+        return None, f"{reason}; {net_reason}"
+
+    def _classify_single_hop(self, executor: Executor, seed: int):
         if not isinstance(executor, SimulationExecutor):
             return None, "executor is not a SimulationExecutor"
         simulator = executor.simulator.make()
@@ -149,6 +174,30 @@ class VectorizedRunner(TrialRunner):
         if tracing:
             _emit_batch_events(observe, batch, trial_times=times)
         return batch
+
+    def _route_records(
+        self,
+        route: Any,
+        task: Task,
+        executor: Executor,
+        seed: int,
+        indices: list[int],
+        collect_times: bool = False,
+    ) -> tuple[list[TrialRecord], list[float] | None]:
+        """Dispatch a classified route to its batched implementation."""
+        if isinstance(route, NetworkRoute):
+            return network_records(
+                route,
+                task,
+                executor,
+                seed,
+                indices,
+                prefetch=self.prefetch,
+                collect_times=collect_times,
+            )
+        return self._collapsed_records(
+            route, task, executor, seed, indices, collect_times
+        )
 
     def _collapsed_records(
         self,
@@ -245,7 +294,7 @@ class VectorizedRunner(TrialRunner):
             self.last_fallback_reason = reason
             return _run_chunk(task, executor, seed, list(indices))
         self.last_fallback_reason = None
-        records, _ = self._collapsed_records(
+        records, _ = self._route_records(
             route, task, executor, seed, list(indices)
         )
         return records, time.perf_counter() - start
@@ -269,7 +318,7 @@ class VectorizedRunner(TrialRunner):
         tracing = observe is not None and observe.enabled
 
         start = time.perf_counter()
-        records, times = self._collapsed_records(
+        records, times = self._route_records(
             route,
             task,
             executor,

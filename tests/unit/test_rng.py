@@ -129,6 +129,78 @@ class TestVectorizedStreamGolden:
         batch = BatchFlips(rngs, 0.5, columns=16)
         assert batch.packed.tolist() == self.GOLDEN_PACKED
 
+    #: Batched *network* noise streams, master seed 0, 3x3 grid graph.
+    #: The network route wraps each per-trial channel's ``_rng`` — the
+    #: same generator the scalar ``NetworkBeepingChannel`` walks with
+    #: ``random() < epsilon`` — in one BatchFlips, so these pins freeze
+    #: the per-node flip draws (epsilon=0.25: one indicator per node per
+    #: round) and the per-edge erasure draws (edge_epsilon=0.1: one per
+    #: delivery) end to end.
+    GOLDEN_NETWORK_NODE_PACKED = [[144, 144], [7, 81], [96, 35]]
+    GOLDEN_NETWORK_NODE_FLIPS = [
+        [1, 0, 0, 1, 0, 0, 0, 0, 1],
+        [0, 0, 0, 0, 0, 1, 1, 1, 0],
+        [0, 1, 1, 0, 0, 0, 0, 0, 0],
+    ]
+    GOLDEN_NETWORK_EDGE_PACKED = [[128, 128], [3, 0], [0, 1]]
+    GOLDEN_NETWORK_EDGE_FLIPS = [
+        [1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+    ]
+
+    def _network_channels(self, **channel_kwargs):
+        from repro.network.channel import NetworkBeepingChannel
+        from repro.network.topology import TopologySpec
+        from repro.parallel import ChannelSpec
+
+        spec = ChannelSpec.of(
+            NetworkBeepingChannel,
+            topology=TopologySpec.of("grid", rows=3, cols=3),
+            **channel_kwargs,
+        )
+        return [
+            spec.make(derive_seed(0, f"trial[{index}]"))
+            for index in range(3)
+        ]
+
+    def test_network_node_noise_streams_frozen(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        from repro.vectorized import BatchFlips
+
+        channels = self._network_channels(epsilon=0.25)
+        # Building a network channel consumes no draws: the batch reads
+        # each trial's generator from the exact state the scalar engine
+        # would first sample it in.
+        batch = BatchFlips(
+            [channel._rng for channel in channels], 0.25, columns=16
+        )
+        assert batch.packed.tolist() == self.GOLDEN_NETWORK_NODE_PACKED
+        for row, expected in enumerate(self.GOLDEN_NETWORK_NODE_FLIPS):
+            assert batch.stream(row).take(9).tolist() == expected, row
+        # The scalar channel's draw discipline — ``random() < epsilon``
+        # per node per round — yields the same indicators.
+        scalar = self._network_channels(epsilon=0.25)[0]
+        assert [
+            int(scalar._rng.random() < 0.25) for _ in range(9)
+        ] == self.GOLDEN_NETWORK_NODE_FLIPS[0]
+
+    def test_network_edge_noise_streams_frozen(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        from repro.vectorized import BatchFlips
+
+        channels = self._network_channels(edge_epsilon=0.1)
+        batch = BatchFlips(
+            [channel._rng for channel in channels], 0.1, columns=16
+        )
+        assert batch.packed.tolist() == self.GOLDEN_NETWORK_EDGE_PACKED
+        for row, expected in enumerate(self.GOLDEN_NETWORK_EDGE_FLIPS):
+            assert batch.stream(row).take(12).tolist() == expected, row
+
 
 class TestSpawn:
     def test_same_label_same_stream(self):
